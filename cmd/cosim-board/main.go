@@ -1,0 +1,74 @@
+// Command cosim-board runs the board side of the co-simulation: the
+// virtual SCM2x0-class board booting the RTOS with the remote router
+// device driver and the checksum application, dialing the simulator over
+// TCP — the role of the physical board in the paper's setup.
+//
+//	cosim-board -connect 127.0.0.1:9000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/board"
+	"repro/internal/cosim"
+	"repro/internal/router"
+)
+
+func main() {
+	connect := flag.String("connect", "127.0.0.1:9000", "simulator address")
+	annotated := flag.Bool("annotated", false, "use analytic software timing instead of the ISS")
+	watchdog := flag.Uint64("watchdog", 0, "install a watchdog with this timeout in HW ticks (0 = none)")
+	tracePath := flag.String("trace", "", "write a protocol trace to this file")
+	flag.Parse()
+
+	acfg := router.DefaultAppConfig()
+	if *annotated {
+		acfg.Timing = router.TimingAnnotated
+	}
+	acfg.WatchdogTimeout = *watchdog
+	bs, err := router.BuildBoardSide(board.DefaultConfig(), acfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cosim-board: %v\n", err)
+		os.Exit(1)
+	}
+
+	tr, err := cosim.DialTCP(*connect)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cosim-board: dial %s: %v\n", *connect, err)
+		os.Exit(1)
+	}
+	defer tr.Close()
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cosim-board: trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tr = cosim.NewTraceTransport(tr, f)
+	}
+	ep := cosim.NewBoardEndpoint(tr)
+	bs.Dev.Attach(ep)
+	fmt.Printf("cosim-board: connected to %s; OS in %v state, waiting for virtual ticks\n",
+		*connect, bs.Board.K.State())
+
+	if err := bs.Board.Run(ep); err != nil {
+		fmt.Fprintf(os.Stderr, "cosim-board: %v\n", err)
+		os.Exit(1)
+	}
+	ks := bs.Board.K.Stats()
+	as := bs.App.Stats()
+	fmt.Printf("cosim-board: finished at %d cycles / %d sw ticks\n",
+		bs.Board.K.Cycles(), bs.Board.K.SWTick())
+	fmt.Printf("  grants=%d ticks=%d irqs=%d\n",
+		bs.Board.Stats().Grants, bs.Board.Stats().TicksGranted, bs.Board.Stats().IRQsDelivered)
+	fmt.Printf("  app: delivered=%d verified=%d corrupt=%d overruns=%d mboxDrops=%d issKcycles=%d\n",
+		as.Delivered, as.Verified, as.Corrupt, as.Overruns, as.MboxDrops, as.ISSCycles/1000)
+	fmt.Printf("  kernel: ctxSwitches=%d isrs=%d dsrs=%d stateSwitches=%d busy/idle/kernel cycles=%d/%d/%d\n",
+		ks.ContextSwitches, ks.ISRs, ks.DSRs, ks.StateSwitches, ks.BusyCycles, ks.IdleCycles, ks.KernelCycles)
+	if wd := bs.App.Watchdog(); wd != nil {
+		fmt.Printf("  %v\n", wd)
+	}
+}

@@ -1,0 +1,87 @@
+// Command cosim-experiments regenerates the paper's evaluation figures
+// (Figures 5–7), the derived optimal-T_sync analysis (Figure 8), and the
+// design ablations, printing each as an aligned text table (or CSV).
+//
+// Usage:
+//
+//	cosim-experiments -fig all            # every figure + ablations
+//	cosim-experiments -fig 7              # just the accuracy sweep
+//	cosim-experiments -fig 6 -linkdelay 500us
+//	cosim-experiments -fig 5 -quick -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 5|6|7|8|a1..a6|e2|all")
+	quick := flag.Bool("quick", false, "smaller sweeps (CI-sized)")
+	delay := flag.Duration("linkdelay", 0, "extra per-message link latency for fig 6/8 and ablations (e.g. 500us)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	verbose := flag.Bool("v", false, "print per-run progress on stderr")
+	flag.Parse()
+
+	opt := experiments.Options{Quick: *quick, LinkDelay: *delay}
+	if *verbose {
+		opt.Progress = os.Stderr
+	}
+
+	type gen struct {
+		name string
+		fn   func(experiments.Options) (*experiments.Table, error)
+	}
+	all := []gen{
+		{"5", experiments.Fig5},
+		{"6", experiments.Fig6},
+		{"7", experiments.Fig7},
+		{"8", experiments.Fig8},
+		{"a1", experiments.AblationPolicies},
+		{"a2", experiments.AblationTiming},
+		{"a3", experiments.AblationTransport},
+		{"a4", experiments.AblationSyncMode},
+		{"a5", experiments.AblationMultiBoard},
+		{"a6", experiments.AblationIRQLatency},
+		{"e2", experiments.ExpServoQuality},
+	}
+
+	var selected []gen
+	for _, g := range all {
+		if *fig == "all" || *fig == g.name {
+			selected = append(selected, g)
+		}
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "cosim-experiments: unknown figure %q (5|6|7|8|a1..a6|e2|all)\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, g := range selected {
+		start := time.Now()
+		tbl, err := g.fn(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cosim-experiments: figure %s: %v\n", g.name, err)
+			os.Exit(1)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "figure %s completed in %v\n", g.name, time.Since(start))
+		}
+		var werr error
+		if *csv {
+			werr = tbl.CSV(os.Stdout)
+			fmt.Println()
+		} else {
+			werr = tbl.Write(os.Stdout)
+		}
+		if werr != nil && werr != io.EOF {
+			fmt.Fprintf(os.Stderr, "cosim-experiments: writing output: %v\n", werr)
+			os.Exit(1)
+		}
+	}
+}

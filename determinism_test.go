@@ -1,0 +1,61 @@
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cosim"
+	"repro/internal/router"
+)
+
+// TestCoSimDeterminismProperty is the repository's headline property: for
+// randomly drawn (seed, T_sync, workload, error-rate, mode) configurations
+// the co-simulation produces bit-identical router statistics and board
+// time on every execution and on both transports. This is what makes the
+// framework usable for regression debugging ("debug the device under
+// design with the precision of the target hardware simulator").
+func TestCoSimDeterminismProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run property; skipped in -short")
+	}
+	rng := rand.New(rand.NewSource(20260705))
+	for trial := 0; trial < 8; trial++ {
+		rc := router.DefaultRunConfig()
+		rc.TB.PacketsPerPort = 3 + rng.Intn(10)
+		rc.TB.Period = uint64(200 + rng.Intn(1200))
+		rc.TB.DataWords = 1 + rng.Intn(12)
+		rc.TB.ErrRate = float64(rng.Intn(4)) * 0.1
+		rc.TB.Seed = rng.Int63()
+		rc.TSync = uint64(50 + rng.Intn(4000))
+		if rng.Intn(2) == 0 {
+			rc.Mode = cosim.SyncPipelined
+		}
+
+		type outcome struct {
+			r      router.Stats
+			cycles uint64
+			ticks  uint64
+		}
+		run := func(tr router.TransportKind) outcome {
+			cfg := rc
+			cfg.Transport = tr
+			res, err := router.RunCoSim(cfg)
+			if err != nil {
+				t.Fatalf("trial %d (%+v): %v", trial, rc.TB, err)
+			}
+			if res.Conservation != nil {
+				t.Fatalf("trial %d: %v", trial, res.Conservation)
+			}
+			return outcome{r: res.Router, cycles: res.BoardCycles, ticks: res.BoardSWTicks}
+		}
+		first := run(router.TransportInProc)
+		again := run(router.TransportInProc)
+		overTCP := run(router.TransportTCP)
+		if first != again {
+			t.Fatalf("trial %d: same-transport runs differ:\n%+v\n%+v", trial, first, again)
+		}
+		if first != overTCP {
+			t.Fatalf("trial %d: transports differ:\n%+v\n%+v", trial, first, overTCP)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package repro
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBinariesEndToEnd builds cosim-hw and cosim-board and runs the
+// paper's deployment shape for real: two OS processes, three TCP channels,
+// the simulator mastering time. It asserts both sides agree on the final
+// outcome.
+func TestBinariesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes; skipped in -short")
+	}
+	dir := t.TempDir()
+	hwBin := filepath.Join(dir, "cosim-hw")
+	boardBin := filepath.Join(dir, "cosim-board")
+	for _, b := range []struct{ out, pkg string }{
+		{hwBin, "./cmd/cosim-hw"},
+		{boardBin, "./cmd/cosim-board"},
+	} {
+		cmd := exec.Command("go", "build", "-o", b.out, b.pkg)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", b.pkg, err, out)
+		}
+	}
+
+	hw := exec.Command(hwBin, "-listen", "127.0.0.1:0", "-tsync", "500", "-n", "40")
+	hwOut, err := hw.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw.Stderr = os.Stderr
+	if err := hw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer hw.Process.Kill()
+
+	// Parse the listening address from the first line.
+	sc := bufio.NewScanner(hwOut)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr = strings.Fields(line[i+len("listening on "):])[0]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("cosim-hw did not announce its address")
+	}
+
+	board := exec.Command(boardBin, "-connect", addr)
+	boardBytes, err := board.Output()
+	if err != nil {
+		t.Fatalf("cosim-board: %v", err)
+	}
+
+	// Collect the rest of the HW output. The pipe must be drained to EOF
+	// *before* Wait (os/exec contract), so EOF doubles as the exit signal.
+	hwRest := make(chan string, 1)
+	go func() {
+		var sb strings.Builder
+		for sc.Scan() {
+			sb.WriteString(sc.Text())
+			sb.WriteString("\n")
+		}
+		hwRest <- sb.String()
+	}()
+	var hwText string
+	select {
+	case hwText = <-hwRest:
+	case <-time.After(60 * time.Second):
+		t.Fatal("cosim-hw did not finish its output")
+	}
+	if err := hw.Wait(); err != nil {
+		t.Fatalf("cosim-hw exited: %v", err)
+	}
+	boardText := string(boardBytes)
+
+	for _, want := range []string{"accuracy=100.0%", "forwarded=40", "integrityErrors=0"} {
+		if !strings.Contains(hwText, want) {
+			t.Fatalf("hw output missing %q:\n%s", want, hwText)
+		}
+	}
+	for _, want := range []string{"verified=40", "corrupt=0"} {
+		if !strings.Contains(boardText, want) {
+			t.Fatalf("board output missing %q:\n%s", want, boardText)
+		}
+	}
+	// Both sides report the same board time.
+	var hwCy, boardCy uint64
+	fmt.Sscanf(afterToken(hwText, "board time: "), "%d", &hwCy)
+	fmt.Sscanf(afterToken(boardText, "finished at "), "%d", &boardCy)
+	if hwCy == 0 || hwCy != boardCy {
+		t.Fatalf("board time disagreement: hw says %d, board says %d", hwCy, boardCy)
+	}
+}
+
+func afterToken(s, token string) string {
+	if i := strings.Index(s, token); i >= 0 {
+		return s[i+len(token):]
+	}
+	return ""
+}

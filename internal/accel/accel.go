@@ -1,0 +1,151 @@
+// Package accel provides the CRC-16 hardware accelerator model used by
+// the hardware/software partitioning example: a device under design that
+// a factory-automation board might gain as an FPGA extension — precisely
+// the virtual-prototyping use case of the paper's introduction. The model
+// is cycle-timed (a configurable number of bytes per clock) and speaks
+// the same driver-port protocol as any device in this framework, so the
+// board can drive it before any RTL exists.
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/checksum"
+	"repro/internal/hdlsim"
+)
+
+// Register map (word offsets within the device window).
+const (
+	// Board-writable registers (the device's driver_in).
+	RegLen  = 0x00 // byte count of the message
+	RegCtrl = 0x01 // writing 1 starts the computation
+	RegData = 0x08 // message bytes, packed 4 per word, little-endian
+	// MaxBytes bounds one message.
+	MaxBytes  = 256
+	dataWords = MaxBytes / 4
+	inWords   = RegData + dataWords
+
+	// Board-readable registers (the device's driver_out).
+	RegResult = 0x80 // the CRC (valid when RegStatus == 1)
+	RegStatus = 0x81 // 0 = busy/idle, 1 = done (cleared on next start)
+	outWords  = 2
+
+	// WindowWords is the full device window a board maps.
+	WindowWords = RegStatus + 1
+)
+
+// CRC is the accelerator model.
+type CRC struct {
+	hdlsim.BaseModule
+
+	sim  *hdlsim.Simulator
+	clk  *hdlsim.Clock
+	base uint32
+	irq  uint8
+
+	din  *hdlsim.DriverIn
+	dout *hdlsim.DriverOut
+
+	lenReg  uint32
+	data    [dataWords]uint32
+	start   *hdlsim.Event
+	busy    bool
+	started uint64
+	done    uint64
+
+	// BytesPerCycle is the modelled datapath width (default 4: one word
+	// per clock).
+	bytesPerCycle uint32
+}
+
+// New instantiates the accelerator at the given window base. irq is the
+// interrupt line raised on completion; bytesPerCycle sets the datapath
+// throughput (≥ 1).
+func New(s *hdlsim.Simulator, clk *hdlsim.Clock, base uint32, irq uint8, bytesPerCycle int) *CRC {
+	if bytesPerCycle < 1 {
+		panic("accel: bytesPerCycle must be ≥ 1")
+	}
+	a := &CRC{
+		BaseModule:    hdlsim.BaseModule{Name: "crc-accel"},
+		sim:           s,
+		clk:           clk,
+		base:          base,
+		irq:           irq,
+		bytesPerCycle: uint32(bytesPerCycle),
+	}
+	a.din = s.NewDriverIn("crc.in", base, inWords)
+	a.dout = s.NewDriverOut("crc.out", base+RegResult, outWords)
+	a.start = s.NewEvent("crc.start")
+	s.DriverProcess("crc.driver", a.onWrite, a.din)
+	s.Thread("crc.engine", a.engine)
+	return a
+}
+
+// Started returns how many computations have begun.
+func (a *CRC) Started() uint64 { return a.started }
+
+// Done returns how many computations have completed.
+func (a *CRC) Done() uint64 { return a.done }
+
+// onWrite is the driver_process collecting board writes.
+func (a *CRC) onWrite() {
+	for {
+		w, ok := a.din.Pop()
+		if !ok {
+			return
+		}
+		switch off := w.Addr - a.base; {
+		case off == RegLen:
+			a.lenReg = w.Val
+		case off == RegCtrl:
+			if w.Val&1 != 0 && !a.busy {
+				a.busy = true
+				a.start.Notify()
+			}
+		case off >= RegData && off < RegData+dataWords:
+			a.data[off-RegData] = w.Val
+		}
+	}
+}
+
+// engine is the datapath model: consume the message at bytesPerCycle,
+// then publish the result and raise the interrupt.
+func (a *CRC) engine(c *hdlsim.Ctx) {
+	for {
+		c.Wait(a.start)
+		n := a.lenReg
+		if n > MaxBytes {
+			n = MaxBytes
+		}
+		cycles := (n + a.bytesPerCycle - 1) / a.bytesPerCycle
+		if cycles == 0 {
+			cycles = 1
+		}
+		a.started++
+		c.WaitCycles(a.clk, uint64(cycles))
+		buf := make([]byte, n)
+		for i := uint32(0); i < n; i++ {
+			buf[i] = byte(a.data[i/4] >> (8 * (i % 4)))
+		}
+		crc := uint32(checksum.CRC16CCITT(buf))
+		a.dout.Set(a.base+RegResult, crc)
+		a.dout.Set(a.base+RegStatus, 1)
+		a.dout.Post(a.base+RegResult, []uint32{crc, 1})
+		a.sim.RaiseDriverInterrupt(a.irq)
+		a.busy = false
+		a.done++
+	}
+}
+
+// PackBytes packs a byte message into the data-register layout; the board
+// application uses it to marshal messages for the device.
+func PackBytes(data []byte) ([]uint32, error) {
+	if len(data) > MaxBytes {
+		return nil, fmt.Errorf("accel: message of %d bytes exceeds max %d", len(data), MaxBytes)
+	}
+	words := make([]uint32, (len(data)+3)/4)
+	for i, b := range data {
+		words[i/4] |= uint32(b) << (8 * (i % 4))
+	}
+	return words, nil
+}

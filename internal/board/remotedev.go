@@ -1,0 +1,157 @@
+package board
+
+import (
+	"fmt"
+
+	"repro/internal/cosim"
+	"repro/internal/rtos"
+)
+
+// RemoteDev is the paper's new device driver (section 5.3): it makes the
+// device simulated on the host look like a memory-mapped peripheral. Its
+// register window is a posted-write bridge:
+//
+//   - simulator→board register updates arrive as DATA-channel writes at
+//     quantum boundaries and land in a local *shadow* copy, so application
+//     reads are serviced locally at bus cost;
+//   - board→simulator writes are posted immediately on the DATA channel
+//     and take effect in the simulator's next quantum;
+//   - true remote reads (bypassing the shadow) are split-phase: the
+//     request is posted and the response arrives in a later grant.
+//
+// Interrupts from the device arrive over the INT channel and are latched
+// on the kernel's interrupt controller by Board.applyGrant; the
+// application attaches its ISR/DSR pair with Kernel.AttachInterrupt as for
+// any physical device.
+type RemoteDev struct {
+	name string
+	base uint32
+	size uint32
+
+	b      *Board
+	ep     *cosim.BoardEndpoint
+	shadow []uint32
+
+	respQ [][]uint32 // completed split-phase reads, FIFO
+
+	inited bool
+}
+
+// NewRemoteDev creates the driver for a simulated device whose registers
+// occupy [base, base+size) word addresses, registers it with the kernel,
+// and returns it. ep may be set later with Attach (the standalone board
+// binary connects after boot).
+func (b *Board) NewRemoteDev(name string, base, size uint32, ep *cosim.BoardEndpoint) (*RemoteDev, error) {
+	for _, d := range b.devs {
+		if base < d.base+d.size && d.base < base+size {
+			return nil, fmt.Errorf("board: device %q overlaps %q", name, d.name)
+		}
+	}
+	d := &RemoteDev{name: name, base: base, size: size, b: b, ep: ep, shadow: make([]uint32, size)}
+	if err := b.K.RegisterDriver(d); err != nil {
+		return nil, err
+	}
+	b.devs = append(b.devs, d)
+	return d, nil
+}
+
+// Attach connects the driver to the co-simulation endpoint.
+func (d *RemoteDev) Attach(ep *cosim.BoardEndpoint) { d.ep = ep }
+
+// Name implements rtos.Driver.
+func (d *RemoteDev) Name() string { return d.name }
+
+// Init implements rtos.Driver; the driver is initialized at system boot
+// and passively listens for the device's interrupt (attached separately by
+// the application, which owns the service semantics).
+func (d *RemoteDev) Init(k *rtos.Kernel) error {
+	d.inited = true
+	return nil
+}
+
+// Base returns the first word address of the device window.
+func (d *RemoteDev) Base() uint32 { return d.base }
+
+// Read implements rtos.Driver: it copies from the shadow window, charging
+// bus cost per word to the calling thread.
+func (d *RemoteDev) Read(c *rtos.ThreadCtx, off uint32, buf []uint32) (int, error) {
+	if int(off)+len(buf) > int(d.size) {
+		return 0, fmt.Errorf("board: %s: read [%d,%d) outside window", d.name, off, int(off)+len(buf))
+	}
+	c.Charge(d.b.cfg.MMIOReadCost * uint64(len(buf)))
+	copy(buf, d.shadow[off:int(off)+len(buf)])
+	return len(buf), nil
+}
+
+// Write implements rtos.Driver: it posts the words to the simulated device
+// (visible there next quantum), charging bus cost per word.
+func (d *RemoteDev) Write(c *rtos.ThreadCtx, off uint32, buf []uint32) (int, error) {
+	if int(off)+len(buf) > int(d.size) {
+		return 0, fmt.Errorf("board: %s: write [%d,%d) outside window", d.name, off, int(off)+len(buf))
+	}
+	if d.ep == nil {
+		return 0, fmt.Errorf("board: %s: not attached to a co-simulation endpoint", d.name)
+	}
+	c.Charge(d.b.cfg.MMIOWriteCost * uint64(len(buf)))
+	if err := d.ep.PostWrite(d.base+off, buf); err != nil {
+		return 0, err
+	}
+	return len(buf), nil
+}
+
+// PostReadReq issues a split-phase remote read (bypassing the shadow); the
+// response is retrieved later with TakeReadResp.
+func (d *RemoteDev) PostReadReq(c *rtos.ThreadCtx, off, count uint32) error {
+	if off+count > d.size {
+		return fmt.Errorf("board: %s: remote read outside window", d.name)
+	}
+	if d.ep == nil {
+		return fmt.Errorf("board: %s: not attached", d.name)
+	}
+	c.Charge(d.b.cfg.MMIOWriteCost)
+	return d.ep.PostReadReq(d.base+off, count)
+}
+
+// TakeReadResp pops the oldest completed split-phase read, if any.
+func (d *RemoteDev) TakeReadResp() ([]uint32, bool) {
+	if len(d.respQ) == 0 {
+		return nil, false
+	}
+	r := d.respQ[0]
+	d.respQ = d.respQ[1:]
+	return r, true
+}
+
+// PeekShadow reads a shadow register without charging (ISR/DSR context,
+// where cost is covered by the configured ISR/DSR charges).
+func (d *RemoteDev) PeekShadow(off uint32) uint32 {
+	if off >= d.size {
+		panic(fmt.Sprintf("board: %s: PeekShadow(%d) outside window", d.name, off))
+	}
+	return d.shadow[off]
+}
+
+// PeekShadowBlock copies count shadow words starting at off (DSR context).
+func (d *RemoteDev) PeekShadowBlock(off, count uint32) []uint32 {
+	if off+count > d.size {
+		panic(fmt.Sprintf("board: %s: PeekShadowBlock outside window", d.name))
+	}
+	out := make([]uint32, count)
+	copy(out, d.shadow[off:off+count])
+	return out
+}
+
+func (d *RemoteDev) applyWrite(w cosim.RegBlock) error {
+	off := w.Addr - d.base
+	if int(off)+len(w.Words) > int(d.size) {
+		return fmt.Errorf("board: %s: simulator write [%#x,+%d) overflows window", d.name, w.Addr, len(w.Words))
+	}
+	copy(d.shadow[off:], w.Words)
+	return nil
+}
+
+func (d *RemoteDev) deliverReadResp(r cosim.RegBlock) {
+	cp := make([]uint32, len(r.Words))
+	copy(cp, r.Words)
+	d.respQ = append(d.respQ, cp)
+}

@@ -1,0 +1,125 @@
+package checksum
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInternetKnownVectors(t *testing.T) {
+	// Classic RFC 1071 worked example: the checksum of this sequence is
+	// such that summing data+checksum gives 0xffff.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	cks := Internet(data)
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	sum += uint32(cks)
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	if sum != 0xffff {
+		t.Fatalf("data+checksum folded to %#04x, want 0xffff", sum)
+	}
+}
+
+func TestInternetEmptyAndOdd(t *testing.T) {
+	if got := Internet(nil); got != 0xffff {
+		t.Fatalf("checksum of empty = %#04x, want 0xffff", got)
+	}
+	// Odd-length input pads with zero: {0xab} ≡ {0xab, 0x00}.
+	if Internet([]byte{0xab}) != Internet([]byte{0xab, 0x00}) {
+		t.Fatal("odd-length padding mismatch")
+	}
+}
+
+func TestVerifyInternetRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		return VerifyInternet(data, Internet(data))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInternetDetectsSingleBitFlips(t *testing.T) {
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	cks := Internet(data)
+	for byteIdx := range data {
+		for bit := 0; bit < 8; bit++ {
+			mut := make([]byte, len(data))
+			copy(mut, data)
+			mut[byteIdx] ^= 1 << bit
+			if VerifyInternet(mut, cks) {
+				t.Fatalf("single-bit flip at byte %d bit %d undetected", byteIdx, bit)
+			}
+		}
+	}
+}
+
+func TestInternetWordsMatchesByteForm(t *testing.T) {
+	f := func(words []uint16) bool {
+		bytes := make([]byte, 0, 2*len(words))
+		for _, w := range words {
+			bytes = append(bytes, byte(w>>8), byte(w))
+		}
+		return InternetWords(words) == Internet(bytes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCRC16CCITTKnownVector(t *testing.T) {
+	// The canonical check value for CRC-16/CCITT-FALSE is 0x29B1 over
+	// "123456789".
+	if got := CRC16CCITT([]byte("123456789")); got != 0x29b1 {
+		t.Fatalf("CRC16CCITT(123456789) = %#04x, want 0x29b1", got)
+	}
+}
+
+func TestCRC16TableMatchesBitwise(t *testing.T) {
+	f := func(data []byte) bool {
+		return CRC16CCITT(data) == CRC16CCITTTable(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCRC16DetectsCorruption(t *testing.T) {
+	data := []byte("router packet payload")
+	crc := CRC16CCITT(data)
+	mut := append([]byte(nil), data...)
+	mut[3] ^= 0x40
+	if CRC16CCITT(mut) == crc {
+		t.Fatal("CRC16 failed to detect corruption")
+	}
+}
+
+func BenchmarkInternet64B(b *testing.B) {
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		Internet(data)
+	}
+}
+
+func BenchmarkCRC16Bitwise64B(b *testing.B) {
+	data := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		CRC16CCITT(data)
+	}
+}
+
+func BenchmarkCRC16Table64B(b *testing.B) {
+	data := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		CRC16CCITTTable(data)
+	}
+}

@@ -1,0 +1,151 @@
+package cosim
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/hdlsim"
+)
+
+// TestGarbageOnChannelSurfacesError: a peer that writes junk bytes must
+// produce a decode error on Recv, not a hang or a panic.
+func TestGarbageOnChannelSurfacesError(t *testing.T) {
+	ln, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan Transport, 1)
+	go func() {
+		tr, err := ln.Accept()
+		if err != nil {
+			close(accepted)
+			return
+		}
+		accepted <- tr
+	}()
+	// A well-formed handshake on all three channels, then garbage on DATA.
+	var conns [3]net.Conn
+	for ch := 0; ch < 3; ch++ {
+		c, err := dialRaw(ln.Addr(), byte(ch), ProtocolVersion)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		conns[ch] = c
+	}
+	hw, ok := <-accepted
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	defer hw.Close()
+	if _, err := conns[ChanData].Write([]byte{0xff, 0xff, 0xff, 0xff, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hw.Recv(ChanData); err == nil {
+		t.Fatal("garbage frame decoded successfully")
+	}
+}
+
+// TestWrongMessageOnClockChannel: protocol-state errors (a data-write
+// arriving on CLOCK where an ack is expected) must surface cleanly.
+func TestWrongMessageOnClockChannel(t *testing.T) {
+	hwT, boardT := NewInProcPair(8)
+	hw := NewHWEndpoint(hwT, SyncAlternating)
+	go func() {
+		// Misbehaving board: answers the grant with a data-write on CLOCK.
+		if _, err := boardT.Recv(ChanClock); err != nil {
+			return
+		}
+		boardT.Send(ChanClock, Msg{Type: MTDataWrite, Addr: 1})
+	}()
+	if _, err := hw.Sync(10, 10); err == nil {
+		t.Fatal("wrong CLOCK message type accepted as ack")
+	}
+	hwT.Close()
+}
+
+// TestAckAnnouncesMoreDataThanSent: a count mismatch must not deadlock
+// forever when the transport closes underneath.
+func TestAckAnnouncesMoreDataThanSent(t *testing.T) {
+	hwT, boardT := NewInProcPair(8)
+	hw := NewHWEndpoint(hwT, SyncAlternating)
+	go func() {
+		if _, err := boardT.Recv(ChanClock); err != nil {
+			return
+		}
+		// Claim 2 data messages but send none, then hang up.
+		boardT.Send(ChanClock, Msg{Type: MTTimeAck, BoardCycle: 1, DataCount: 2})
+		boardT.Close()
+	}()
+	if _, err := hw.Sync(10, 10); err == nil {
+		t.Fatal("missing announced data not detected")
+	}
+}
+
+// TestBoardSeesFinishAfterClose: closing the link mid-wait unblocks the
+// board with an error rather than hanging.
+func TestBoardSeesFinishAfterClose(t *testing.T) {
+	hwT, boardT := NewInProcPair(8)
+	be := NewBoardEndpoint(boardT)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := be.WaitGrant()
+		errc <- err
+	}()
+	hwT.Close()
+	if err := <-errc; err == nil {
+		t.Fatal("WaitGrant returned nil after close")
+	}
+}
+
+// TestUnexpectedDataTypeFromSimulator: the board must reject a read
+// request arriving from the simulator side (protocol direction violation).
+func TestUnexpectedDataTypeFromSimulator(t *testing.T) {
+	hwT, boardT := NewInProcPair(8)
+	be := NewBoardEndpoint(boardT)
+	go func() {
+		hwT.Send(ChanData, Msg{Type: MTDataReadReq, Addr: 1, Count: 1})
+		hwT.Send(ChanClock, Msg{Type: MTClockGrant, Ticks: 1, DataCount: 1})
+	}()
+	if _, err := be.WaitGrant(); err == nil {
+		t.Fatal("direction-violating DATA message accepted")
+	}
+	hwT.Close()
+}
+
+// TestHWEndpointRejectsWrongOutboundKind: the simulator side can only
+// send writes and read responses on DATA.
+func TestHWEndpointRejectsWrongOutboundKind(t *testing.T) {
+	hwT, _ := NewInProcPair(8)
+	hw := NewHWEndpoint(hwT, SyncAlternating)
+	err := hw.SendData(hdlsim.DataMsg{Kind: hdlsim.DataReadReq, Addr: 1, Count: 1})
+	if err == nil {
+		t.Fatal("simulator-side read request accepted")
+	}
+	hwT.Close()
+}
+
+// TestDelayTransportPreservesSemantics: the latency wrapper must not
+// reorder or drop messages.
+func TestDelayTransportPreservesSemantics(t *testing.T) {
+	a, b := NewInProcPair(64)
+	da := NewDelayTransport(a, 0) // zero delay: pure pass-through
+	for i := 0; i < 20; i++ {
+		if err := da.Send(ChanData, Msg{Type: MTDataWrite, Addr: uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		m, err := b.Recv(ChanData)
+		if err != nil || m.Addr != uint32(i) {
+			t.Fatalf("message %d: %+v %v", i, m, err)
+		}
+	}
+	if _, ok, err := da.TryRecv(ChanData); ok || err != nil {
+		t.Fatalf("TryRecv through wrapper: %v %v", ok, err)
+	}
+	if err := da.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,28 @@
+package cosim
+
+import "time"
+
+// Metrics aggregates link-level counters for one endpoint. All counters
+// are owned by the endpoint's goroutine; read them after the run.
+type Metrics struct {
+	SyncEvents   uint64        // CLOCK rendezvous performed
+	TicksGranted uint64        // virtual ticks granted (HW) / received (board)
+	DataSent     uint64        // DATA messages sent
+	DataRecv     uint64        // DATA messages received
+	IntSent      uint64        // INT messages sent
+	IntRecv      uint64        // INT messages received
+	BytesSent    uint64        // wire bytes sent (frames included)
+	SyncWait     time.Duration // wall-clock time blocked in CLOCK rendezvous
+	WallStart    time.Time     // set by Start
+	Wall         time.Duration // set by StopClock
+}
+
+// Start stamps the beginning of the measured region.
+func (m *Metrics) Start() { m.WallStart = time.Now() }
+
+// StopClock records the elapsed wall-clock time since Start.
+func (m *Metrics) StopClock() {
+	if !m.WallStart.IsZero() {
+		m.Wall = time.Since(m.WallStart)
+	}
+}

@@ -1,0 +1,138 @@
+package cosim
+
+import (
+	"fmt"
+
+	"repro/internal/hdlsim"
+)
+
+// MultiHWEndpoint extends the framework from one board to several, the
+// direction of the authors' multi-processor SoC co-simulation line
+// (paper refs [19],[20]): a single simulated hardware model serves
+// multiple boards, each behind its own three-channel link. DATA traffic
+// is routed by address window, interrupts by explicit line assignment,
+// and every quantum is granted to all boards *before* any acknowledgement
+// is awaited, so the boards execute their quanta concurrently in
+// wall-clock while remaining deterministic in simulated time (the same
+// boundary-exchange argument as the single-board pipelined mode).
+//
+// It implements hdlsim.DriverEndpoint, so Simulator.DriverSimulate drives
+// any number of boards unchanged.
+type MultiHWEndpoint struct {
+	members  []*HWEndpoint
+	windows  []addrWindow
+	irqRoute map[uint8]int
+}
+
+type addrWindow struct {
+	base, size uint32
+	member     int
+}
+
+// NewMultiHWEndpoint creates an empty fan-out endpoint.
+func NewMultiHWEndpoint() *MultiHWEndpoint {
+	return &MultiHWEndpoint{irqRoute: make(map[uint8]int)}
+}
+
+// AddBoard registers a board link and the word-address window whose DATA
+// traffic belongs to it; it returns the board's index. Windows of
+// different boards must not overlap.
+func (m *MultiHWEndpoint) AddBoard(ep *HWEndpoint, base, size uint32) (int, error) {
+	for _, w := range m.windows {
+		if base < w.base+w.size && w.base < base+size {
+			return 0, fmt.Errorf("cosim: board window [%#x,+%d) overlaps board %d", base, size, w.member)
+		}
+	}
+	idx := len(m.members)
+	m.members = append(m.members, ep)
+	m.windows = append(m.windows, addrWindow{base: base, size: size, member: idx})
+	return idx, nil
+}
+
+// RouteIRQ assigns an interrupt line to a board.
+func (m *MultiHWEndpoint) RouteIRQ(irq uint8, boardIdx int) error {
+	if boardIdx < 0 || boardIdx >= len(m.members) {
+		return fmt.Errorf("cosim: no board %d", boardIdx)
+	}
+	m.irqRoute[irq] = boardIdx
+	return nil
+}
+
+// Boards returns the number of attached boards.
+func (m *MultiHWEndpoint) Boards() int { return len(m.members) }
+
+// Member returns board i's underlying endpoint (for metrics/time).
+func (m *MultiHWEndpoint) Member(i int) *HWEndpoint { return m.members[i] }
+
+func (m *MultiHWEndpoint) memberFor(addr uint32) (*HWEndpoint, error) {
+	for _, w := range m.windows {
+		if addr >= w.base && addr < w.base+w.size {
+			return m.members[w.member], nil
+		}
+	}
+	return nil, fmt.Errorf("cosim: no board window covers address %#x", addr)
+}
+
+// PollData implements hdlsim.DriverEndpoint: released messages from every
+// board, in board order (deterministic).
+func (m *MultiHWEndpoint) PollData() []hdlsim.DataMsg {
+	var out []hdlsim.DataMsg
+	for _, ep := range m.members {
+		out = append(out, ep.PollData()...)
+	}
+	return out
+}
+
+// SendData implements hdlsim.DriverEndpoint, routing by address window.
+func (m *MultiHWEndpoint) SendData(d hdlsim.DataMsg) error {
+	ep, err := m.memberFor(d.Addr)
+	if err != nil {
+		return err
+	}
+	return ep.SendData(d)
+}
+
+// SendInterrupt implements hdlsim.DriverEndpoint, routing by line.
+func (m *MultiHWEndpoint) SendInterrupt(irq uint8) error {
+	idx, ok := m.irqRoute[irq]
+	if !ok {
+		return fmt.Errorf("cosim: interrupt line %d not routed to any board", irq)
+	}
+	return m.members[idx].SendInterrupt(irq)
+}
+
+// Sync implements hdlsim.DriverEndpoint: grant all boards, then collect
+// all acknowledgements. It returns the slowest board's local cycle.
+func (m *MultiHWEndpoint) Sync(ticks, hwCycle uint64) (uint64, error) {
+	if len(m.members) == 0 {
+		return hwCycle, nil
+	}
+	for i, ep := range m.members {
+		if err := ep.sendGrant(ticks, hwCycle); err != nil {
+			return 0, fmt.Errorf("cosim: board %d grant: %w", i, err)
+		}
+	}
+	var minCycle uint64
+	for i, ep := range m.members {
+		if err := ep.consumeAck(); err != nil {
+			return 0, fmt.Errorf("cosim: board %d ack: %w", i, err)
+		}
+		if i == 0 || ep.lastBoardCycle < minCycle {
+			minCycle = ep.lastBoardCycle
+		}
+	}
+	return minCycle, nil
+}
+
+// Finish implements hdlsim.DriverEndpoint.
+func (m *MultiHWEndpoint) Finish(hwCycle uint64) error {
+	var first error
+	for i, ep := range m.members {
+		if err := ep.Finish(hwCycle); err != nil && first == nil {
+			first = fmt.Errorf("cosim: board %d finish: %w", i, err)
+		}
+	}
+	return first
+}
+
+var _ hdlsim.DriverEndpoint = (*MultiHWEndpoint)(nil)

@@ -1,0 +1,173 @@
+package cosim
+
+import (
+	"testing"
+
+	"repro/internal/hdlsim"
+)
+
+// twoBoards wires a MultiHWEndpoint to two scripted boards over in-proc
+// transports.
+func twoBoards(t *testing.T) (*MultiHWEndpoint, []chan struct {
+	grants []Grant
+	err    error
+}, []Transport) {
+	t.Helper()
+	m := NewMultiHWEndpoint()
+	var results []chan struct {
+		grants []Grant
+		err    error
+	}
+	var hwTs []Transport
+	for i := 0; i < 2; i++ {
+		hwT, boardT := NewInProcPair(64)
+		hwTs = append(hwTs, hwT)
+		ep := NewHWEndpoint(hwT, SyncAlternating)
+		base := uint32(0x1000 * (i + 1))
+		if _, err := m.AddBoard(ep, base, 0x100); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.RouteIRQ(uint8(10+i), i); err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, scriptedBoard(t, NewBoardEndpoint(boardT), true))
+	}
+	return m, results, hwTs
+}
+
+func TestMultiBoardGrantFanout(t *testing.T) {
+	m, results, hwTs := twoBoards(t)
+	if m.Boards() != 2 {
+		t.Fatalf("boards = %d", m.Boards())
+	}
+	// Traffic targeted per window plus per-line interrupts.
+	if err := m.SendData(hdlsim.DataMsg{Kind: hdlsim.DataWrite, Addr: 0x1004, Words: []uint32{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SendData(hdlsim.DataMsg{Kind: hdlsim.DataWrite, Addr: 0x2004, Words: []uint32{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SendInterrupt(11); err != nil {
+		t.Fatal(err)
+	}
+	bc, err := m.Sync(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc != 10 {
+		t.Fatalf("slowest board cycle %d, want 10", bc)
+	}
+	// Both boards echo one write per quantum: both visible after the sync.
+	if got := m.PollData(); len(got) != 2 {
+		t.Fatalf("PollData returned %d messages, want one echo per board", len(got))
+	}
+	if err := m.Finish(10); err != nil {
+		t.Fatal(err)
+	}
+	for i, rc := range results {
+		r := <-rc
+		if r.err != nil {
+			t.Fatalf("board %d: %v", i, r.err)
+		}
+		if len(r.grants) != 1 {
+			t.Fatalf("board %d saw %d grants", i, len(r.grants))
+		}
+		g := r.grants[0]
+		if len(g.Writes) != 1 {
+			t.Fatalf("board %d writes: %+v", i, g.Writes)
+		}
+		wantVal := uint32(i + 1)
+		if g.Writes[0].Words[0] != wantVal {
+			t.Fatalf("board %d got word %d, want %d (cross-routing?)", i, g.Writes[0].Words[0], wantVal)
+		}
+		wantInts := 0
+		if i == 1 {
+			wantInts = 1
+		}
+		if len(g.Interrupts) != wantInts {
+			t.Fatalf("board %d interrupts: %v", i, g.Interrupts)
+		}
+	}
+	for _, tr := range hwTs {
+		tr.Close()
+	}
+}
+
+func TestMultiBoardRoutingErrors(t *testing.T) {
+	m, results, hwTs := twoBoards(t)
+	if err := m.SendData(hdlsim.DataMsg{Kind: hdlsim.DataWrite, Addr: 0x9999}); err == nil {
+		t.Fatal("unmapped address routed")
+	}
+	if err := m.SendInterrupt(42); err == nil {
+		t.Fatal("unrouted interrupt accepted")
+	}
+	if err := m.RouteIRQ(1, 9); err == nil {
+		t.Fatal("RouteIRQ to missing board accepted")
+	}
+	if _, err := m.AddBoard(m.Member(0), 0x1080, 0x100); err == nil {
+		t.Fatal("overlapping window accepted")
+	}
+	if err := m.Finish(0); err != nil {
+		t.Fatal(err)
+	}
+	for _, rc := range results {
+		<-rc
+	}
+	for _, tr := range hwTs {
+		tr.Close()
+	}
+}
+
+func TestMultiBoardEmptySyncIsNoop(t *testing.T) {
+	m := NewMultiHWEndpoint()
+	bc, err := m.Sync(10, 42)
+	if err != nil || bc != 42 {
+		t.Fatalf("empty multi sync: %d %v", bc, err)
+	}
+	if err := m.Finish(42); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PollData(); len(got) != 0 {
+		t.Fatalf("empty multi produced data: %v", got)
+	}
+}
+
+func TestMultiBoardSlowestCycleReported(t *testing.T) {
+	// Boards that report different local cycles: Sync returns the minimum.
+	m := NewMultiHWEndpoint()
+	var hwTs []Transport
+	for i := 0; i < 2; i++ {
+		hwT, boardT := NewInProcPair(16)
+		hwTs = append(hwTs, hwT)
+		ep := NewHWEndpoint(hwT, SyncAlternating)
+		if _, err := m.AddBoard(ep, uint32(0x100*(i+1)), 0x10); err != nil {
+			t.Fatal(err)
+		}
+		mult := uint64(i + 1) // board 1 runs 2x the cycles per tick
+		go func(be *BoardEndpoint, mult uint64) {
+			var cy uint64
+			for {
+				g, err := be.WaitGrant()
+				if err != nil || g.Finished {
+					be.FinishAck(cy, 0)
+					return
+				}
+				cy += g.Ticks * mult
+				be.Ack(cy, 0)
+			}
+		}(NewBoardEndpoint(boardT), mult)
+	}
+	bc, err := m.Sync(100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc != 100 {
+		t.Fatalf("Sync reported %d, want slowest (min) 100", bc)
+	}
+	if err := m.Finish(100); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range hwTs {
+		tr.Close()
+	}
+}

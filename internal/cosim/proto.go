@@ -1,0 +1,278 @@
+// Package cosim implements the co-simulation link of Fummi et al. (DATE
+// 2005): three logical communication channels — a DATA port for register
+// traffic, an INT port carrying interrupt notifications, and a CLOCK port
+// carrying the timing information that keeps the hardware simulator and
+// the board synchronized — plus the virtual-tick synchronization protocol
+// built on them.
+//
+// The hardware simulator is the master of simulated time: every T_sync
+// clock cycles it sends a clock grant over the CLOCK channel; the board
+// advances its software by the granted number of virtual ticks and answers
+// with its local time. Cross-traffic (register writes, read requests,
+// interrupts) is exchanged at these quantum boundaries, which makes the
+// co-simulation deterministic regardless of transport (TCP or in-process)
+// and of whether the two sides execute their quanta alternately or
+// concurrently.
+package cosim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// ProtocolVersion guards against mismatched endpoints.
+const ProtocolVersion uint16 = 1
+
+// Channel identifies one of the three logical ports of the link.
+type Channel uint8
+
+const (
+	// ChanData is the DATA port: register writes, read requests and read
+	// responses.
+	ChanData Channel = iota
+	// ChanInt is the INT port: hardware→board interrupt notifications.
+	ChanInt
+	// ChanClock is the CLOCK port: grants, time acknowledgements and
+	// shutdown.
+	ChanClock
+	numChannels
+)
+
+// String implements fmt.Stringer.
+func (c Channel) String() string {
+	switch c {
+	case ChanData:
+		return "DATA"
+	case ChanInt:
+		return "INT"
+	case ChanClock:
+		return "CLOCK"
+	default:
+		return fmt.Sprintf("Channel(%d)", uint8(c))
+	}
+}
+
+// MsgType discriminates protocol messages.
+type MsgType uint8
+
+const (
+	// MTHello opens each channel (version handshake).
+	MTHello MsgType = iota + 1
+	// MTClockGrant (CLOCK, HW→board): run for Ticks virtual ticks; exactly
+	// DataCount DATA messages and IntCount INT messages sent during the
+	// simulator's preceding quantum must be drained first.
+	MTClockGrant
+	// MTTimeAck (CLOCK, board→HW): the board finished its quantum at local
+	// cycle BoardCycle / software tick SWTick, having sent DataCount DATA
+	// messages that the simulator must drain before proceeding.
+	MTTimeAck
+	// MTFinish (CLOCK, HW→board): co-simulation over.
+	MTFinish
+	// MTFinishAck (CLOCK, board→HW): board acknowledges shutdown; its
+	// final statistics ride along in BoardCycle/SWTick.
+	MTFinishAck
+	// MTInterrupt (INT, HW→board): interrupt line IRQ fired.
+	MTInterrupt
+	// MTDataWrite (DATA, either direction): Words written at Addr.
+	MTDataWrite
+	// MTDataReadReq (DATA, board→HW): read Count words at Addr.
+	MTDataReadReq
+	// MTDataReadResp (DATA, HW→board): response to a read request.
+	MTDataReadResp
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MTHello:
+		return "hello"
+	case MTClockGrant:
+		return "clock-grant"
+	case MTTimeAck:
+		return "time-ack"
+	case MTFinish:
+		return "finish"
+	case MTFinishAck:
+		return "finish-ack"
+	case MTInterrupt:
+		return "interrupt"
+	case MTDataWrite:
+		return "data-write"
+	case MTDataReadReq:
+		return "data-read-req"
+	case MTDataReadResp:
+		return "data-read-resp"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Msg is one protocol message. It is a tagged union: which fields are
+// meaningful depends on Type (see the MsgType constants). A single struct
+// keeps the hot path allocation-free and the wire codec simple.
+type Msg struct {
+	Type MsgType
+
+	// DATA-channel fields.
+	Addr  uint32
+	Count uint32
+	Words []uint32
+
+	// INT-channel fields.
+	IRQ uint8
+
+	// CLOCK-channel fields.
+	Ticks      uint64
+	HWCycle    uint64
+	BoardCycle uint64
+	SWTick     uint64
+	DataCount  uint32
+	IntCount   uint32
+
+	// Hello fields.
+	Version uint16
+}
+
+// MaxWords bounds the Words slice on the wire to keep a corrupted length
+// prefix from allocating unbounded memory.
+const MaxWords = 1 << 16
+
+// Encode writes the message in its framed wire format:
+//
+//	uint32  payload length (bytes, excluding this prefix)
+//	uint8   type
+//	...     type-specific payload, little-endian
+func (m *Msg) Encode(w io.Writer) error {
+	body := m.appendBody(make([]byte, 4, 64))
+	binary.LittleEndian.PutUint32(body[:4], uint32(len(body)-4))
+	_, err := w.Write(body)
+	return err
+}
+
+// appendBody appends the unframed body (starting with the type byte) to b.
+func (m *Msg) appendBody(b []byte) []byte {
+	b = append(b, byte(m.Type))
+	le := binary.LittleEndian
+	switch m.Type {
+	case MTHello:
+		b = le.AppendUint16(b, m.Version)
+	case MTClockGrant:
+		b = le.AppendUint64(b, m.Ticks)
+		b = le.AppendUint64(b, m.HWCycle)
+		b = le.AppendUint32(b, m.DataCount)
+		b = le.AppendUint32(b, m.IntCount)
+	case MTTimeAck, MTFinishAck:
+		b = le.AppendUint64(b, m.BoardCycle)
+		b = le.AppendUint64(b, m.SWTick)
+		b = le.AppendUint32(b, m.DataCount)
+	case MTFinish:
+		b = le.AppendUint64(b, m.HWCycle)
+	case MTInterrupt:
+		b = append(b, m.IRQ)
+	case MTDataWrite, MTDataReadResp:
+		b = le.AppendUint32(b, m.Addr)
+		b = le.AppendUint32(b, uint32(len(m.Words)))
+		for _, w := range m.Words {
+			b = le.AppendUint32(b, w)
+		}
+	case MTDataReadReq:
+		b = le.AppendUint32(b, m.Addr)
+		b = le.AppendUint32(b, m.Count)
+	default:
+		panic(fmt.Sprintf("cosim: encode of unknown message type %d", m.Type))
+	}
+	return b
+}
+
+// Decode reads one framed message from r.
+func Decode(r io.Reader) (Msg, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Msg{}, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n == 0 || n > 4*(MaxWords+8) {
+		return Msg{}, fmt.Errorf("cosim: implausible frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Msg{}, fmt.Errorf("cosim: truncated frame: %w", err)
+	}
+	return decodeBody(body)
+}
+
+func decodeBody(body []byte) (Msg, error) {
+	le := binary.LittleEndian
+	m := Msg{Type: MsgType(body[0])}
+	p := body[1:]
+	need := func(n int) error {
+		if len(p) < n {
+			return fmt.Errorf("cosim: short %v message: %d bytes left, need %d", m.Type, len(p), n)
+		}
+		return nil
+	}
+	switch m.Type {
+	case MTHello:
+		if err := need(2); err != nil {
+			return m, err
+		}
+		m.Version = le.Uint16(p)
+	case MTClockGrant:
+		if err := need(24); err != nil {
+			return m, err
+		}
+		m.Ticks = le.Uint64(p)
+		m.HWCycle = le.Uint64(p[8:])
+		m.DataCount = le.Uint32(p[16:])
+		m.IntCount = le.Uint32(p[20:])
+	case MTTimeAck, MTFinishAck:
+		if err := need(20); err != nil {
+			return m, err
+		}
+		m.BoardCycle = le.Uint64(p)
+		m.SWTick = le.Uint64(p[8:])
+		m.DataCount = le.Uint32(p[16:])
+	case MTFinish:
+		if err := need(8); err != nil {
+			return m, err
+		}
+		m.HWCycle = le.Uint64(p)
+	case MTInterrupt:
+		if err := need(1); err != nil {
+			return m, err
+		}
+		m.IRQ = p[0]
+	case MTDataWrite, MTDataReadResp:
+		if err := need(8); err != nil {
+			return m, err
+		}
+		m.Addr = le.Uint32(p)
+		count := le.Uint32(p[4:])
+		if count > MaxWords {
+			return m, fmt.Errorf("cosim: %v with %d words exceeds limit", m.Type, count)
+		}
+		if err := need(8 + 4*int(count)); err != nil {
+			return m, err
+		}
+		m.Words = make([]uint32, count)
+		for i := range m.Words {
+			m.Words[i] = le.Uint32(p[8+4*i:])
+		}
+	case MTDataReadReq:
+		if err := need(8); err != nil {
+			return m, err
+		}
+		m.Addr = le.Uint32(p)
+		m.Count = le.Uint32(p[4:])
+	default:
+		return m, fmt.Errorf("cosim: unknown message type %d", body[0])
+	}
+	return m, nil
+}
+
+// WireSize returns the number of bytes the message occupies on the wire,
+// including the frame prefix; used by the metrics counters.
+func (m *Msg) WireSize() int {
+	return len(m.appendBody(make([]byte, 4, 64)))
+}

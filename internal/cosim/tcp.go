@@ -1,0 +1,215 @@
+package cosim
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// The TCP transport realizes the paper's three TCP/IP ports. To stay
+// friendly to test environments (a single well-known address instead of
+// three), all three logical channels connect to one listener; the first
+// byte each connection sends identifies which logical port it is. Each
+// channel then carries framed Msg records (see proto.go).
+
+// tcpTransport is a Transport over three TCP connections. A reader
+// goroutine per connection decodes frames into a buffered channel so that
+// TryRecv is non-blocking.
+type tcpTransport struct {
+	conns [numChannels]net.Conn
+	wmu   [numChannels]sync.Mutex
+	wbuf  [numChannels]*bufio.Writer
+	inbox [numChannels]chan Msg
+	errs  [numChannels]error
+	emu   sync.Mutex
+	once  sync.Once
+}
+
+const tcpInboxDepth = 4096
+
+func newTCPTransport(conns [numChannels]net.Conn) *tcpTransport {
+	t := &tcpTransport{conns: conns}
+	for i := range conns {
+		t.wbuf[i] = bufio.NewWriter(conns[i])
+		t.inbox[i] = make(chan Msg, tcpInboxDepth)
+		go t.readLoop(Channel(i))
+	}
+	return t
+}
+
+func (t *tcpTransport) readLoop(ch Channel) {
+	r := bufio.NewReader(t.conns[ch])
+	for {
+		m, err := Decode(r)
+		if err != nil {
+			t.emu.Lock()
+			t.errs[ch] = err
+			t.emu.Unlock()
+			close(t.inbox[ch])
+			return
+		}
+		t.inbox[ch] <- m
+	}
+}
+
+func (t *tcpTransport) chanErr(ch Channel) error {
+	t.emu.Lock()
+	defer t.emu.Unlock()
+	if t.errs[ch] != nil {
+		return fmt.Errorf("cosim: %v channel: %w", ch, t.errs[ch])
+	}
+	return ErrClosed
+}
+
+func (t *tcpTransport) Send(ch Channel, m Msg) error {
+	if ch >= numChannels {
+		return fmt.Errorf("cosim: invalid channel %d", ch)
+	}
+	t.wmu[ch].Lock()
+	defer t.wmu[ch].Unlock()
+	if err := m.Encode(t.wbuf[ch]); err != nil {
+		return err
+	}
+	return t.wbuf[ch].Flush()
+}
+
+func (t *tcpTransport) Recv(ch Channel) (Msg, error) {
+	if ch >= numChannels {
+		return Msg{}, fmt.Errorf("cosim: invalid channel %d", ch)
+	}
+	m, ok := <-t.inbox[ch]
+	if !ok {
+		return Msg{}, t.chanErr(ch)
+	}
+	return m, nil
+}
+
+func (t *tcpTransport) recvTimeout(ch Channel, d time.Duration) (Msg, error) {
+	if ch >= numChannels {
+		return Msg{}, fmt.Errorf("cosim: invalid channel %d", ch)
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case m, ok := <-t.inbox[ch]:
+		if !ok {
+			return Msg{}, t.chanErr(ch)
+		}
+		return m, nil
+	case <-timer.C:
+		return Msg{}, ErrTimeout
+	}
+}
+
+func (t *tcpTransport) TryRecv(ch Channel) (Msg, bool, error) {
+	if ch >= numChannels {
+		return Msg{}, false, fmt.Errorf("cosim: invalid channel %d", ch)
+	}
+	select {
+	case m, ok := <-t.inbox[ch]:
+		if !ok {
+			return Msg{}, false, t.chanErr(ch)
+		}
+		return m, true, nil
+	default:
+		return Msg{}, false, nil
+	}
+}
+
+func (t *tcpTransport) Close() error {
+	var first error
+	t.once.Do(func() {
+		for _, c := range t.conns {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	})
+	return first
+}
+
+// Listener accepts the three channel connections of one co-simulation
+// session on the hardware-simulator side.
+type Listener struct {
+	ln net.Listener
+}
+
+// ListenTCP starts listening for a board connection. addr is a TCP address
+// such as "127.0.0.1:0".
+func ListenTCP(addr string) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{ln: ln}, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (l *Listener) Addr() string { return l.ln.Addr().String() }
+
+// Accept waits for the board to open all three channels and returns the
+// assembled transport. The first byte on each accepted connection selects
+// its logical channel; a hello message follows on each.
+func (l *Listener) Accept() (Transport, error) {
+	var conns [numChannels]net.Conn
+	seen := 0
+	for seen < int(numChannels) {
+		c, err := l.ln.Accept()
+		if err != nil {
+			return nil, err
+		}
+		var tag [1]byte
+		if _, err := c.Read(tag[:]); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cosim: reading channel tag: %w", err)
+		}
+		ch := Channel(tag[0])
+		if ch >= numChannels || conns[ch] != nil {
+			c.Close()
+			return nil, fmt.Errorf("cosim: bad or duplicate channel tag %d", tag[0])
+		}
+		m, err := Decode(c)
+		if err != nil || m.Type != MTHello {
+			c.Close()
+			return nil, fmt.Errorf("cosim: missing hello on %v channel: %v", ch, err)
+		}
+		if m.Version != ProtocolVersion {
+			c.Close()
+			return nil, fmt.Errorf("cosim: protocol version mismatch: board %d, simulator %d", m.Version, ProtocolVersion)
+		}
+		conns[ch] = c
+		seen++
+	}
+	return newTCPTransport(conns), nil
+}
+
+// Close stops the listener (already-accepted transports stay open).
+func (l *Listener) Close() error { return l.ln.Close() }
+
+// DialTCP connects the board side to a listening simulator, opening the
+// three channel connections and performing the hello handshake.
+func DialTCP(addr string) (Transport, error) {
+	var conns [numChannels]net.Conn
+	for ch := Channel(0); ch < numChannels; ch++ {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			for i := Channel(0); i < ch; i++ {
+				conns[i].Close()
+			}
+			return nil, err
+		}
+		if _, err := c.Write([]byte{byte(ch)}); err != nil {
+			c.Close()
+			return nil, err
+		}
+		hello := Msg{Type: MTHello, Version: ProtocolVersion}
+		if err := hello.Encode(c); err != nil {
+			c.Close()
+			return nil, err
+		}
+		conns[ch] = c
+	}
+	return newTCPTransport(conns), nil
+}

@@ -1,0 +1,95 @@
+package cosim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRecvTimeoutInProc(t *testing.T) {
+	a, b := NewInProcPair(8)
+	defer a.Close()
+	// Nothing queued: times out.
+	start := time.Now()
+	if _, err := RecvTimeout(a, ChanData, 20*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("timeout wildly overshot")
+	}
+	// Queued message returned immediately.
+	if err := b.Send(ChanData, Msg{Type: MTDataWrite, Addr: 9}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := RecvTimeout(a, ChanData, time.Second)
+	if err != nil || m.Addr != 9 {
+		t.Fatalf("%+v %v", m, err)
+	}
+	// d ≤ 0 degrades to blocking Recv: verify with a queued message.
+	b.Send(ChanData, Msg{Type: MTDataWrite, Addr: 10})
+	if m, err := RecvTimeout(a, ChanData, 0); err != nil || m.Addr != 10 {
+		t.Fatalf("%+v %v", m, err)
+	}
+}
+
+func TestRecvTimeoutTCP(t *testing.T) {
+	ln, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	acc := make(chan Transport, 1)
+	go func() {
+		tr, err := ln.Accept()
+		if err == nil {
+			acc <- tr
+		} else {
+			close(acc)
+		}
+	}()
+	board, err := DialTCP(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer board.Close()
+	hw, ok := <-acc
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	defer hw.Close()
+	if _, err := RecvTimeout(hw, ChanClock, 20*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	board.Send(ChanClock, Msg{Type: MTTimeAck, BoardCycle: 3})
+	m, err := RecvTimeout(hw, ChanClock, time.Second)
+	if err != nil || m.BoardCycle != 3 {
+		t.Fatalf("%+v %v", m, err)
+	}
+}
+
+func TestRecvTimeoutThroughWrapper(t *testing.T) {
+	// DelayTransport does not implement recvTimeout; the polling fallback
+	// must still honour the deadline.
+	a, b := NewInProcPair(8)
+	defer a.Close()
+	wrapped := NewDelayTransport(a, 0)
+	if _, err := RecvTimeout(wrapped, ChanInt, 15*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout via fallback", err)
+	}
+	b.Send(ChanInt, Msg{Type: MTInterrupt, IRQ: 4})
+	m, err := RecvTimeout(wrapped, ChanInt, time.Second)
+	if err != nil || m.IRQ != 4 {
+		t.Fatalf("%+v %v", m, err)
+	}
+}
+
+func TestHWEndpointDetectsDeadBoard(t *testing.T) {
+	hwT, _ := NewInProcPair(8)
+	defer hwT.Close()
+	hw := NewHWEndpoint(hwT, SyncAlternating)
+	hw.AckTimeout = 25 * time.Millisecond
+	_, err := hw.Sync(10, 10) // board never answers
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Sync err = %v, want ErrTimeout", err)
+	}
+}

@@ -1,0 +1,180 @@
+package cosim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by transport operations after Close.
+var ErrClosed = errors.New("cosim: transport closed")
+
+// ErrTimeout is returned by RecvTimeout when the deadline passes with no
+// message.
+var ErrTimeout = errors.New("cosim: receive timed out")
+
+// recvTimeouter is implemented by transports that support bounded waits.
+type recvTimeouter interface {
+	recvTimeout(ch Channel, d time.Duration) (Msg, error)
+}
+
+// RecvTimeout waits for a message on ch for at most d (d ≤ 0 blocks
+// indefinitely, like Recv). It returns ErrTimeout when the deadline
+// passes — the hook endpoints use to detect a dead peer instead of
+// hanging a co-simulation forever.
+func RecvTimeout(tr Transport, ch Channel, d time.Duration) (Msg, error) {
+	if d <= 0 {
+		return tr.Recv(ch)
+	}
+	if rt, ok := tr.(recvTimeouter); ok {
+		return rt.recvTimeout(ch, d)
+	}
+	// Fallback for wrappers that do not expose the capability: poll.
+	deadline := time.Now().Add(d)
+	for {
+		m, ok, err := tr.TryRecv(ch)
+		if err != nil {
+			return Msg{}, err
+		}
+		if ok {
+			return m, nil
+		}
+		if time.Now().After(deadline) {
+			return Msg{}, ErrTimeout
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// Transport moves protocol messages across the three logical channels.
+// Implementations must preserve per-channel FIFO order; no ordering is
+// guaranteed *across* channels (TCP gives none), which is why the protocol
+// carries explicit drain counts in grants and acks.
+//
+// Send may be called from the owning side's simulation goroutine; Recv and
+// TryRecv from the same. A transport connects exactly two peers.
+type Transport interface {
+	// Send enqueues m on channel ch.
+	Send(ch Channel, m Msg) error
+	// Recv blocks until a message arrives on ch (or the transport closes).
+	Recv(ch Channel) (Msg, error)
+	// TryRecv returns the next message on ch if one is already available.
+	TryRecv(ch Channel) (Msg, bool, error)
+	// Close tears the link down; blocked Recv calls return ErrClosed or a
+	// transport-specific error.
+	Close() error
+}
+
+// chanPair is one direction of an in-process link.
+type chanPair struct {
+	ch [numChannels]chan Msg
+}
+
+// inprocTransport is the in-process Transport: three buffered Go channels
+// per direction. It gives the same interface and message-granularity
+// semantics as the TCP transport with ~100ns per message instead of a
+// socket round trip, so deterministic experiments can sweep large
+// parameter grids quickly.
+type inprocTransport struct {
+	send      *chanPair
+	recv      *chanPair
+	closeOnce *sync.Once
+	closed    chan struct{}
+}
+
+// NewInProcPair creates a connected pair of in-process transports; hw is
+// handed to the hardware-simulator endpoint and board to the board
+// endpoint. cap is the per-channel buffer depth (≥1).
+func NewInProcPair(capacity int) (hw, board Transport) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	newPair := func() *chanPair {
+		p := &chanPair{}
+		for i := range p.ch {
+			p.ch[i] = make(chan Msg, capacity)
+		}
+		return p
+	}
+	h2b, b2h := newPair(), newPair()
+	once := &sync.Once{}
+	closed := make(chan struct{})
+	hwT := &inprocTransport{send: h2b, recv: b2h, closeOnce: once, closed: closed}
+	boardT := &inprocTransport{send: b2h, recv: h2b, closeOnce: once, closed: closed}
+	return hwT, boardT
+}
+
+func (t *inprocTransport) Send(ch Channel, m Msg) error {
+	if ch >= numChannels {
+		return fmt.Errorf("cosim: invalid channel %d", ch)
+	}
+	select {
+	case t.send.ch[ch] <- m:
+		return nil
+	case <-t.closed:
+		return ErrClosed
+	}
+}
+
+func (t *inprocTransport) Recv(ch Channel) (Msg, error) {
+	if ch >= numChannels {
+		return Msg{}, fmt.Errorf("cosim: invalid channel %d", ch)
+	}
+	select {
+	case m := <-t.recv.ch[ch]:
+		return m, nil
+	case <-t.closed:
+		// Drain anything already buffered before reporting closure, so a
+		// shutdown race cannot lose the final ack.
+		select {
+		case m := <-t.recv.ch[ch]:
+			return m, nil
+		default:
+			return Msg{}, ErrClosed
+		}
+	}
+}
+
+func (t *inprocTransport) recvTimeout(ch Channel, d time.Duration) (Msg, error) {
+	if ch >= numChannels {
+		return Msg{}, fmt.Errorf("cosim: invalid channel %d", ch)
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case m := <-t.recv.ch[ch]:
+		return m, nil
+	case <-t.closed:
+		select {
+		case m := <-t.recv.ch[ch]:
+			return m, nil
+		default:
+			return Msg{}, ErrClosed
+		}
+	case <-timer.C:
+		return Msg{}, ErrTimeout
+	}
+}
+
+func (t *inprocTransport) TryRecv(ch Channel) (Msg, bool, error) {
+	if ch >= numChannels {
+		return Msg{}, false, fmt.Errorf("cosim: invalid channel %d", ch)
+	}
+	select {
+	case m := <-t.recv.ch[ch]:
+		return m, true, nil
+	default:
+		select {
+		case <-t.closed:
+			return Msg{}, false, ErrClosed
+		default:
+			return Msg{}, false, nil
+		}
+	}
+}
+
+func (t *inprocTransport) Close() error {
+	t.closeOnce.Do(func() { close(t.closed) })
+	return nil
+}

@@ -1,0 +1,194 @@
+package cosim
+
+import (
+	"sync"
+	"testing"
+)
+
+// exerciseTransport runs the same conformance checks against any connected
+// transport pair.
+func exerciseTransport(t *testing.T, a, b Transport) {
+	t.Helper()
+
+	// Per-channel FIFO order, bidirectional.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			if err := a.Send(ChanData, Msg{Type: MTDataWrite, Addr: uint32(i)}); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+		if err := a.Send(ChanClock, Msg{Type: MTClockGrant, Ticks: 7}); err != nil {
+			t.Errorf("clock send: %v", err)
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		m, err := b.Recv(ChanData)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if m.Addr != uint32(i) {
+			t.Fatalf("out of order: got addr %d at position %d", m.Addr, i)
+		}
+	}
+	g, err := b.Recv(ChanClock)
+	if err != nil || g.Ticks != 7 {
+		t.Fatalf("clock recv: %+v %v", g, err)
+	}
+	wg.Wait()
+
+	// Channels are independent: a message on INT does not disturb DATA.
+	if err := b.Send(ChanInt, Msg{Type: MTInterrupt, IRQ: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := a.TryRecv(ChanData); ok || err != nil {
+		t.Fatalf("TryRecv(DATA) = ok=%v err=%v, want empty", ok, err)
+	}
+	im, err := a.Recv(ChanInt)
+	if err != nil || im.IRQ != 3 {
+		t.Fatalf("interrupt recv: %+v %v", im, err)
+	}
+
+	// TryRecv sees an already-delivered message.
+	if err := b.Send(ChanData, Msg{Type: MTDataReadReq, Addr: 9, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// The message may need a moment to cross a socket; poll.
+	var got bool
+	for i := 0; i < 10000 && !got; i++ {
+		var m Msg
+		m, got, err = a.TryRecv(ChanData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got && m.Addr != 9 {
+			t.Fatalf("TryRecv delivered %+v", m)
+		}
+	}
+	if !got {
+		// Fall back to blocking receive so slow CI machines still pass.
+		if _, err := a.Recv(ChanData); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Invalid channel errors.
+	if err := a.Send(Channel(9), Msg{Type: MTInterrupt}); err == nil {
+		t.Fatal("send on invalid channel accepted")
+	}
+	if _, err := a.Recv(Channel(9)); err == nil {
+		t.Fatal("recv on invalid channel accepted")
+	}
+	if _, _, err := a.TryRecv(Channel(9)); err == nil {
+		t.Fatal("tryrecv on invalid channel accepted")
+	}
+
+	// Close unblocks the peer.
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Recv(ChanClock)
+		done <- err
+	}()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	if err := <-done; err == nil {
+		t.Fatal("Recv returned nil error after close")
+	}
+}
+
+func TestInProcTransportConformance(t *testing.T) {
+	a, b := NewInProcPair(64)
+	exerciseTransport(t, a, b)
+}
+
+func TestTCPTransportConformance(t *testing.T) {
+	ln, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var hw Transport
+	accepted := make(chan error, 1)
+	go func() {
+		var err error
+		hw, err = ln.Accept()
+		accepted <- err
+	}()
+	board, err := DialTCP(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-accepted; err != nil {
+		t.Fatal(err)
+	}
+	exerciseTransport(t, hw, board)
+}
+
+func TestTCPHandshakeVersionMismatch(t *testing.T) {
+	ln, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	result := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept()
+		result <- err
+	}()
+	// Dial manually with a wrong version on the first channel.
+	conn, err := dialRaw(ln.Addr(), 0, ProtocolVersion+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := <-result; err == nil {
+		t.Fatal("version mismatch accepted")
+	}
+}
+
+func TestTCPDuplicateChannelTagRejected(t *testing.T) {
+	ln, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	result := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept()
+		result <- err
+	}()
+	c1, err := dialRaw(ln.Addr(), byte(ChanData), ProtocolVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := dialRaw(ln.Addr(), byte(ChanData), ProtocolVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := <-result; err == nil {
+		t.Fatal("duplicate channel tag accepted")
+	}
+}
+
+func TestInProcCloseDrainsBufferedAck(t *testing.T) {
+	a, b := NewInProcPair(8)
+	if err := b.Send(ChanClock, Msg{Type: MTFinishAck, BoardCycle: 5}); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	// The buffered final ack must still be readable after close.
+	m, err := a.Recv(ChanClock)
+	if err != nil {
+		t.Fatalf("buffered message lost on close: %v", err)
+	}
+	if m.BoardCycle != 5 {
+		t.Fatalf("wrong message drained: %+v", m)
+	}
+}

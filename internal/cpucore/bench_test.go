@@ -1,0 +1,76 @@
+package cpucore
+
+import (
+	"testing"
+
+	"repro/internal/hdlsim"
+	"repro/internal/iss"
+	"repro/internal/sim"
+)
+
+// BenchmarkCoreComputeThroughput measures instructions/second of the
+// cycle-timed core on a pure-compute loop (no bus traffic).
+func BenchmarkCoreComputeThroughput(b *testing.B) {
+	src := `
+    li   t0, 0
+    li   t1, 1000000000
+loop:
+    addi t0, t0, 1
+    blt  t0, t1, loop
+    ecall`
+	s := hdlsim.NewSimulator("b")
+	clk := s.NewClock("clk", sim.NS(10))
+	bus := hdlsim.NewBus(s, clk, "b", 1)
+	cfg := DefaultConfig()
+	cfg.Batch = 64
+	core := New(s, clk, bus, cfg)
+	words, _, err := iss.Assemble(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	core.CPU.LoadProgram(words, 0)
+	if err := s.Elaborate(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	// One benchmark iteration ≈ one clock cycle of the SoC; instructions
+	// retire inside.
+	if err := s.RunCycles(clk, uint64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(core.CPU.Steps)/float64(b.N), "instr/cycle")
+}
+
+// BenchmarkCoreMMIORoundTrip measures a load+store pair over the bus.
+func BenchmarkCoreMMIORoundTrip(b *testing.B) {
+	src := `
+    li   t0, 0x80000000
+loop:
+    lw   t1, 0(t0)
+    addi t1, t1, 1
+    sw   t1, 0(t0)
+    j    loop`
+	s := hdlsim.NewSimulator("b")
+	clk := s.NewClock("clk", sim.NS(10))
+	bus := hdlsim.NewBus(s, clk, "b", 2)
+	ram := hdlsim.NewRAM(0x80000000>>2, 4)
+	if err := bus.Map(0x80000000>>2, 4, ram); err != nil {
+		b.Fatal(err)
+	}
+	core := New(s, clk, bus, DefaultConfig())
+	words, _, err := iss.Assemble(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	core.CPU.LoadProgram(words, 0)
+	if err := s.Elaborate(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if err := s.RunCycles(clk, uint64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(core.BusOps())/float64(b.N), "busops/cycle")
+}

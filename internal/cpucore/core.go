@@ -1,0 +1,173 @@
+// Package cpucore integrates the RV32 instruction-set simulator into the
+// HDL simulation kernel as a cycle-timed CPU module: instructions retire
+// in simulated time and loads/stores inside a memory-mapped I/O window
+// become transactions on an hdlsim.Bus, blocking for bus latency like any
+// hardware initiator.
+//
+// This is the *homogeneous* co-simulation style of the paper's related
+// work — one simulation engine for hardware and software, the approach of
+// the authors' own "Native ISS-SystemC Integration" (paper ref [20]) —
+// provided here as the in-framework baseline to the paper's main
+// contribution (the heterogeneous simulator↔board coupling): no sockets,
+// no T_sync, perfect timing alignment, but also no real board, no RTOS
+// and no real-time behaviour.
+package cpucore
+
+import (
+	"fmt"
+
+	"repro/internal/hdlsim"
+	"repro/internal/iss"
+)
+
+// Config parameterizes a core.
+type Config struct {
+	// MemSize is the private memory size in bytes.
+	MemSize int
+	// MMIOBase/MMIOSize delimit the byte-address window routed to the bus
+	// (word-aligned).
+	MMIOBase, MMIOSize uint32
+	// Batch is the number of instructions executed between simulated-time
+	// charges: 1 is fully cycle-stepped; larger values trade timing
+	// granularity inside the core for speed (the intra-core analogue of
+	// the co-simulation's T_sync). Default 16.
+	Batch int
+	// MaxSteps bounds total executed instructions (0 = 100 million).
+	MaxSteps uint64
+}
+
+// DefaultConfig returns a 64 KiB core with a 4 KiB MMIO window at
+// 0x8000_0000.
+func DefaultConfig() Config {
+	return Config{MemSize: 64 * 1024, MMIOBase: 0x8000_0000, MMIOSize: 4096, Batch: 16}
+}
+
+// Core is the CPU module.
+type Core struct {
+	hdlsim.BaseModule
+	CPU *iss.CPU
+
+	cfg Config
+	bus *hdlsim.Bus
+	clk *hdlsim.Clock
+
+	ctx    *hdlsim.Ctx // valid while the core's thread is executing
+	halt   iss.HaltReason
+	err    error
+	done   *hdlsim.Event
+	busOps uint64
+}
+
+// New instantiates a core on the simulator, connected to bus for its MMIO
+// window. Load a program with Core.CPU.LoadProgram before running.
+func New(s *hdlsim.Simulator, clk *hdlsim.Clock, bus *hdlsim.Bus, cfg Config) *Core {
+	if cfg.Batch < 1 {
+		cfg.Batch = 16
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 100_000_000
+	}
+	if cfg.MMIOBase%4 != 0 || cfg.MMIOSize%4 != 0 {
+		panic("cpucore: MMIO window must be word-aligned")
+	}
+	c := &Core{
+		BaseModule: hdlsim.BaseModule{Name: "cpu0"},
+		CPU:        iss.New(cfg.MemSize),
+		cfg:        cfg,
+		bus:        bus,
+		clk:        clk,
+		done:       s.NewEvent("cpu0.done"),
+	}
+	c.CPU.MMIO = c
+	s.Thread("cpu0.pipeline", c.run)
+	return c
+}
+
+// Done returns the event notified when the program halts (ECALL/EBREAK,
+// error, or step budget).
+func (c *Core) Done() *hdlsim.Event { return c.done }
+
+// Halted returns the final halt reason and error once Done has fired.
+func (c *Core) Halted() (iss.HaltReason, error) { return c.halt, c.err }
+
+// BusOps returns the number of MMIO transactions issued.
+func (c *Core) BusOps() uint64 { return c.busOps }
+
+func (c *Core) inWindow(addr uint32) bool {
+	return addr >= c.cfg.MMIOBase && addr < c.cfg.MMIOBase+c.cfg.MMIOSize
+}
+
+// MMIOLoad implements iss.MMIOHandler: a blocking bus read.
+func (c *Core) MMIOLoad(addr uint32) (uint32, bool, error) {
+	if !c.inWindow(addr) {
+		return 0, false, nil
+	}
+	if c.ctx == nil {
+		return 0, false, fmt.Errorf("cpucore: MMIO access outside the core's thread")
+	}
+	c.busOps++
+	v, err := c.bus.Read(c.ctx, addr>>2)
+	return v, true, err
+}
+
+// MMIOStore implements iss.MMIOHandler: a blocking bus write.
+// Sub-word stores are widened read-modify-write transactions.
+func (c *Core) MMIOStore(addr uint32, size int, val uint32) (bool, error) {
+	if !c.inWindow(addr) {
+		return false, nil
+	}
+	if c.ctx == nil {
+		return false, fmt.Errorf("cpucore: MMIO access outside the core's thread")
+	}
+	word := addr >> 2
+	c.busOps++
+	if size == 4 {
+		return true, c.bus.Write(c.ctx, word, val)
+	}
+	cur, err := c.bus.Read(c.ctx, word)
+	if err != nil {
+		return true, err
+	}
+	c.busOps++
+	shift := 8 * (addr & 3)
+	var mask uint32
+	if size == 1 {
+		mask = 0xff << shift
+	} else {
+		shift = 8 * (addr & 2)
+		mask = 0xffff << shift
+	}
+	merged := (cur &^ mask) | ((val << shift) & mask)
+	return true, c.bus.Write(c.ctx, word, merged)
+}
+
+// run is the pipeline thread: execute a batch of instructions, then let
+// simulated time advance by their cost-model cycles.
+func (c *Core) run(ctx *hdlsim.Ctx) {
+	c.ctx = ctx
+	defer func() { c.ctx = nil }()
+	var steps uint64
+	for {
+		before := c.CPU.Cycles
+		for i := 0; i < c.cfg.Batch; i++ {
+			halt, err := c.CPU.Step()
+			steps++
+			if err != nil || halt != iss.HaltNone {
+				c.halt, c.err = halt, err
+				if cycles := c.CPU.Cycles - before; cycles > 0 {
+					ctx.WaitCycles(c.clk, cycles)
+				}
+				c.done.Notify()
+				return
+			}
+			if steps >= c.cfg.MaxSteps {
+				c.halt = iss.HaltMaxSteps
+				c.done.Notify()
+				return
+			}
+		}
+		if cycles := c.CPU.Cycles - before; cycles > 0 {
+			ctx.WaitCycles(c.clk, cycles)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package cpucore
+
+import (
+	"testing"
+
+	"repro/internal/hdlsim"
+	"repro/internal/iss"
+	"repro/internal/sim"
+)
+
+// fixture builds a simulator with a core, a bus, and a RAM mapped into the
+// MMIO window.
+func fixture(t *testing.T, src string, batch int) (*hdlsim.Simulator, *hdlsim.Clock, *Core, *hdlsim.RAM) {
+	t.Helper()
+	s := hdlsim.NewSimulator("t")
+	clk := s.NewClock("clk", sim.NS(10))
+	bus := hdlsim.NewBus(s, clk, "soc", 3)
+	cfg := DefaultConfig()
+	cfg.Batch = batch
+	// Map 1 KiB of RAM at the start of the MMIO window (word addresses).
+	ramBase := cfg.MMIOBase >> 2
+	ram := hdlsim.NewRAM(ramBase, 256)
+	if err := bus.Map(ramBase, 256, ram); err != nil {
+		t.Fatal(err)
+	}
+	core := New(s, clk, bus, cfg)
+	words, _, err := iss.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.CPU.LoadProgram(words, 0); err != nil {
+		t.Fatal(err)
+	}
+	return s, clk, core, ram
+}
+
+const mmioProg = `
+    li   t0, 0x80000000    # MMIO window base
+    li   t1, 0xdeadbeef
+    sw   t1, 0(t0)         # word write over the bus
+    lw   a0, 0(t0)         # read it back over the bus
+    li   t2, 0x55
+    sb   t2, 5(t0)         # byte write: read-modify-write transaction
+    lw   a1, 4(t0)
+    ecall
+`
+
+func TestCoreMMIOThroughBus(t *testing.T) {
+	s, _, core, ram := fixture(t, mmioProg, 4)
+	fired := false
+	s.Method("watch", func() { fired = true }, core.Done()).DontInitialize()
+	if err := s.Run(sim.MS(1)); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("done event never fired")
+	}
+	halt, err := core.Halted()
+	if err != nil || halt != iss.HaltECall {
+		t.Fatalf("halt=%v err=%v", halt, err)
+	}
+	if core.CPU.X[10] != 0xdeadbeef {
+		t.Fatalf("a0 = %#x, want the bus round trip", core.CPU.X[10])
+	}
+	if core.CPU.X[11] != 0x5500 {
+		t.Fatalf("a1 = %#x, want byte-lane merge 0x5500", core.CPU.X[11])
+	}
+	// The RAM (a real bus target) holds the data.
+	if v, err := ram.BusRead(0x80000000 >> 2); err != nil || v != 0xdeadbeef {
+		t.Fatalf("ram word 0: %#x %v", v, err)
+	}
+	if core.BusOps() < 5 {
+		t.Fatalf("bus ops %d, want ≥ 5", core.BusOps())
+	}
+}
+
+func TestCoreTimingChargesInstructionsAndBus(t *testing.T) {
+	// A pure-compute program: HDL time advanced ≈ CPU cost-model cycles.
+	src := `
+    li   t0, 0
+    li   t1, 200
+loop:
+    addi t0, t0, 1
+    blt  t0, t1, loop
+    ecall`
+	s, clk, core, _ := fixture(t, src, 1)
+	var cyclesAtDone uint64
+	s.Method("stopper", func() {
+		cyclesAtDone = clk.Cycles()
+		s.Stop()
+	}, core.Done()).DontInitialize()
+	if err := s.Run(sim.MS(1)); err != nil {
+		t.Fatal(err)
+	}
+	if halt, err := core.Halted(); err != nil || halt != iss.HaltECall {
+		t.Fatalf("halt=%v err=%v", halt, err)
+	}
+	cpuCycles := core.CPU.Cycles
+	if cyclesAtDone < cpuCycles-2 || cyclesAtDone > cpuCycles+8 {
+		t.Fatalf("HDL advanced %d cycles for %d CPU cycles", cyclesAtDone, cpuCycles)
+	}
+}
+
+func TestCoreBatchTradesGranularityNotResult(t *testing.T) {
+	run := func(batch int) (uint32, uint64) {
+		s, clk, core, _ := fixture(t, mmioProg, batch)
+		if err := s.Run(sim.MS(1)); err != nil {
+			t.Fatal(err)
+		}
+		return core.CPU.X[10], clk.Cycles()
+	}
+	a1, _ := run(1)
+	a16, _ := run(16)
+	if a1 != a16 {
+		t.Fatalf("results differ across batch sizes: %#x vs %#x", a1, a16)
+	}
+}
+
+func TestCoreInteractsWithHDLPeripheral(t *testing.T) {
+	// A register file target whose value an HDL process updates while the
+	// program polls it: software spinning on hardware in one engine.
+	src := `
+    li   t0, 0x80000400    # peripheral register (word 0x20000100)
+poll:
+    lw   a0, 0(t0)
+    beqz a0, poll
+    ecall`
+	s := hdlsim.NewSimulator("t")
+	clk := s.NewClock("clk", sim.NS(10))
+	bus := hdlsim.NewBus(s, clk, "soc", 2)
+	reg := hdlsim.NewRAM(0x80000400>>2, 1)
+	if err := bus.Map(0x80000400>>2, 1, reg); err != nil {
+		t.Fatal(err)
+	}
+	core := New(s, clk, bus, DefaultConfig())
+	words, _, err := iss.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.CPU.LoadProgram(words, 0)
+	// The "peripheral" raises the flag at cycle 300.
+	s.Thread("peripheral", func(c *hdlsim.Ctx) {
+		c.WaitCycles(clk, 300)
+		if err := reg.BusWrite(0x80000400>>2, 7); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := s.Run(sim.MS(1)); err != nil {
+		t.Fatal(err)
+	}
+	if halt, err := core.Halted(); err != nil || halt != iss.HaltECall {
+		t.Fatalf("halt=%v err=%v", halt, err)
+	}
+	if core.CPU.X[10] != 7 {
+		t.Fatalf("a0 = %d", core.CPU.X[10])
+	}
+	if clk.Cycles() < 300 {
+		t.Fatalf("program finished at cycle %d, before the peripheral fired", clk.Cycles())
+	}
+}
+
+func TestCoreBusErrorSurfaces(t *testing.T) {
+	// Access inside the MMIO window but outside any mapping: the bus
+	// error must halt the core with an error, not crash the simulator.
+	src := `
+    li  t0, 0x80000800
+    lw  a0, 0(t0)
+    ecall`
+	s, _, core, _ := fixture(t, src, 1)
+	if err := s.Run(sim.MS(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Halted(); err == nil {
+		t.Fatal("unmapped bus access did not error")
+	}
+}
+
+func TestCoreMisalignedWindowPanics(t *testing.T) {
+	s := hdlsim.NewSimulator("t")
+	clk := s.NewClock("clk", sim.NS(10))
+	bus := hdlsim.NewBus(s, clk, "b", 1)
+	cfg := DefaultConfig()
+	cfg.MMIOBase = 0x80000001
+	defer func() {
+		if recover() == nil {
+			t.Fatal("misaligned window accepted")
+		}
+	}()
+	New(s, clk, bus, cfg)
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickOpt() Options { return Options{Quick: true} }
+
+// cell parses a numeric table cell.
+func cell(t *testing.T, tbl *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tbl.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q: %v", row, col, tbl.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Title: "demo", Header: []string{"a", "bee"}}
+	tbl.Append(1, 2.5)
+	tbl.Append("x", "y")
+	tbl.Note("note %d", 7)
+	var buf bytes.Buffer
+	if err := tbl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "a  bee", "1  2.500", "# note 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	var csv bytes.Buffer
+	if err := tbl.CSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "a,bee\n1,2.500\n") {
+		t.Fatalf("CSV:\n%s", csv.String())
+	}
+}
+
+func TestFig7QuickShape(t *testing.T) {
+	tbl, err := Fig7(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column 1 = N=100 accuracy. Must start at 100 and be non-increasing,
+	// ending clearly below 100.
+	prev := 101.0
+	for i := range tbl.Rows {
+		acc := cell(t, tbl, i, 1)
+		if acc > prev+0.2 {
+			t.Fatalf("accuracy not monotone: row %d %.1f after %.1f", i, acc, prev)
+		}
+		prev = acc
+	}
+	if first := cell(t, tbl, 0, 1); first != 100.0 {
+		t.Fatalf("accuracy at Tsync=1000 is %.1f, want 100", first)
+	}
+	last := cell(t, tbl, len(tbl.Rows)-1, 1)
+	if last > 60 {
+		t.Fatalf("accuracy at loosest coupling is %.1f, want clear degradation", last)
+	}
+}
+
+func TestFig6QuickShape(t *testing.T) {
+	tbl, err := Fig6(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := cell(t, tbl, 0, 1)              // Tsync=1
+	last := cell(t, tbl, len(tbl.Rows)-1, 1) // Tsync=10000
+	if first < 2 {
+		t.Fatalf("lockstep overhead ratio %.1f, want ≫ 1", first)
+	}
+	if last >= first/2 {
+		t.Fatalf("overhead did not decay: %.1f → %.1f", first, last)
+	}
+}
+
+func TestAblationTransportGap(t *testing.T) {
+	tbl, err := AblationTransport(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inproc := cell(t, tbl, 0, 3)
+	tcp := cell(t, tbl, 1, 3)
+	if tcp <= inproc {
+		t.Fatalf("TCP per-sync cost %.2fus not above in-proc %.2fus", tcp, inproc)
+	}
+}
+
+func TestAblationTimingAgreement(t *testing.T) {
+	tbl, err := AblationTiming(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both models must agree at tight coupling (first row, Tsync=2000).
+	iss := cell(t, tbl, 0, 1)
+	ann := cell(t, tbl, 0, 2)
+	if iss != 1.0 || ann != 1.0 {
+		t.Fatalf("tight coupling accuracy: iss=%.3f annotated=%.3f, want 1.0", iss, ann)
+	}
+}

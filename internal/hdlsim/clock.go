@@ -1,0 +1,65 @@
+package hdlsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Clock is a free-running symmetric clock built on a BitSignal, equivalent
+// to sc_clock. The first rising edge occurs at time 0 (immediately after
+// elaboration); edges alternate every half period.
+type Clock struct {
+	sig    *BitSignal
+	period sim.Time
+	cycles uint64 // completed rising edges
+}
+
+// NewClock creates a clock with the given full period. Period must be an
+// even number of picoseconds ≥ 2 so both half-periods are representable.
+func (s *Simulator) NewClock(name string, period sim.Time) *Clock {
+	if period < 2 || period%2 != 0 {
+		panic(fmt.Sprintf("hdlsim: clock %q period %v must be even and ≥ 2ps", name, period))
+	}
+	c := &Clock{sig: NewBitSignal(s, name), period: period}
+	s.clocks = append(s.clocks, c)
+	return c
+}
+
+// start schedules the first edge; called during elaboration.
+func (c *Clock) start() {
+	s := c.sig.sim
+	half := c.period / 2
+	var rise, fall func()
+	rise = func() {
+		c.sig.Write(true)
+		c.cycles++
+		s.timed.Schedule(s.now+half, fall)
+	}
+	fall = func() {
+		c.sig.Write(false)
+		s.timed.Schedule(s.now+half, rise)
+	}
+	s.timed.Schedule(s.now, rise)
+}
+
+// Name returns the clock signal name.
+func (c *Clock) Name() string { return c.sig.name }
+
+// Period returns the full clock period.
+func (c *Clock) Period() sim.Time { return c.period }
+
+// Cycles returns the number of rising edges produced so far.
+func (c *Clock) Cycles() uint64 { return c.cycles }
+
+// Signal returns the underlying bit signal (for port binding / tracing).
+func (c *Clock) Signal() *BitSignal { return c.sig }
+
+// Posedge returns the rising-edge event.
+func (c *Clock) Posedge() *Event { return c.sig.Posedge() }
+
+// Negedge returns the falling-edge event.
+func (c *Clock) Negedge() *Event { return c.sig.Negedge() }
+
+// Read returns the current clock level.
+func (c *Clock) Read() bool { return c.sig.Read() }

@@ -1,0 +1,101 @@
+package hdlsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Ctx is handed to thread process bodies; its Wait* methods suspend the
+// thread until a wake-up condition holds. All methods must be called from
+// within the owning thread's body.
+type Ctx struct {
+	p *Process
+}
+
+// Sim returns the owning simulator (e.g. to read Now()).
+func (c *Ctx) Sim() *Simulator { return c.p.sim }
+
+// Now returns the current simulated time.
+func (c *Ctx) Now() sim.Time { return c.p.sim.now }
+
+// Process returns the underlying process (for name/diagnostics).
+func (c *Ctx) Process() *Process { return c.p }
+
+func (c *Ctx) suspend() {
+	c.p.coro.Yield()
+}
+
+// Wait suspends until the event fires.
+func (c *Ctx) Wait(e *Event) {
+	c.WaitAny(e)
+}
+
+// WaitAny suspends until any of the events fires and returns the one that
+// did.
+func (c *Ctx) WaitAny(events ...*Event) *Event {
+	if len(events) == 0 {
+		panic(fmt.Sprintf("hdlsim: %s: WaitAny with no events would sleep forever", c.p.name))
+	}
+	p := c.p
+	p.waitEvents = append(p.waitEvents[:0], events...)
+	for _, e := range events {
+		e.addDynWaiter(p, 1)
+	}
+	c.suspend()
+	return p.wakeCause(events)
+}
+
+// wakeCause determines which event woke the process. The kernel clears
+// waitEvents on wake; the cause is the event whose dyn list no longer
+// contains p and that actually triggered — we track it via timedOut flag
+// plus the convention that wakeFromWait removed p from all *other* events.
+func (p *Process) wakeCause(events []*Event) *Event {
+	if p.timedOut {
+		return nil
+	}
+	// wakeFromWait(cause) removed p from every waited event except cause
+	// (cause removed p itself before calling). We cannot distinguish among
+	// the originally waited events post-hoc without extra state, so record
+	// it at wake time instead.
+	return p.lastWakeEvent
+}
+
+// WaitTime suspends for d of simulated time.
+func (c *Ctx) WaitTime(d sim.Time) {
+	p := c.p
+	p.waitTimeout = p.sim.timed.Schedule(p.sim.now+d, func() {
+		p.waitTimeout = sim.Handle{}
+		p.lastWakeEvent = nil
+		p.wakeFromWait(nil)
+	})
+	c.suspend()
+}
+
+// WaitTimeout suspends until e fires or d elapses; it returns true if the
+// event fired and false on timeout.
+func (c *Ctx) WaitTimeout(e *Event, d sim.Time) bool {
+	p := c.p
+	p.waitEvents = append(p.waitEvents[:0], e)
+	e.addDynWaiter(p, 1)
+	p.waitTimeout = p.sim.timed.Schedule(p.sim.now+d, func() {
+		p.waitTimeout = sim.Handle{}
+		p.lastWakeEvent = nil
+		p.wakeFromWait(nil)
+	})
+	c.suspend()
+	return !p.timedOut
+}
+
+// WaitCycles suspends for n rising edges of the clock. The wait counts
+// edges inside the kernel, so it costs one suspend/resume regardless of n.
+func (c *Ctx) WaitCycles(clk *Clock, n uint64) {
+	if n == 0 {
+		return
+	}
+	p := c.p
+	e := clk.Posedge()
+	p.waitEvents = append(p.waitEvents[:0], e)
+	e.addDynWaiter(p, n)
+	c.suspend()
+}

@@ -1,0 +1,45 @@
+package hdlsim
+
+import (
+	"fmt"
+	"io"
+)
+
+// Describe writes a human-readable inventory of the elaborated design —
+// processes with their kinds and run counts, signals with current values,
+// driver ports with their windows — the moral equivalent of a simulator's
+// `report` command, for debugging models and co-simulation setups.
+func (s *Simulator) Describe(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "design %q @ %v (deltas=%d, process runs=%d)\n",
+		s.name, s.now, s.stats.Deltas, s.stats.ProcessRuns); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "processes (%d):\n", len(s.processes))
+	for _, p := range s.processes {
+		kind := "method"
+		state := ""
+		if p.kind == ThreadProcess {
+			kind = "thread"
+			if p.terminated {
+				state = " [terminated]"
+			} else if len(p.waitEvents) > 0 {
+				state = fmt.Sprintf(" [waiting: %s]", p.waitEvents[0].Name())
+			}
+		}
+		fmt.Fprintf(w, "  %-30s %-6s runs=%d%s\n", p.name, kind, p.triggerRuns, state)
+	}
+	fmt.Fprintf(w, "signals (%d):\n", len(s.signals))
+	for _, sig := range s.signals {
+		fmt.Fprintf(w, "  %-30s = %s\n", sig.SignalName(), sig.traceValue())
+	}
+	if len(s.driverIns)+len(s.driverOuts) > 0 {
+		fmt.Fprintf(w, "driver ports (%d in, %d out):\n", len(s.driverIns), len(s.driverOuts))
+		for _, d := range s.driverIns {
+			fmt.Fprintf(w, "  in  %-26s [%#05x,+%d) pending=%d\n", d.name, d.Base, d.Size, len(d.q))
+		}
+		for _, d := range s.driverOuts {
+			fmt.Fprintf(w, "  out %-26s [%#05x,+%d)\n", d.name, d.Base, d.Size)
+		}
+	}
+	return nil
+}

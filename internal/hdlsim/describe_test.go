@@ -1,0 +1,39 @@
+package hdlsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDescribeListsDesign(t *testing.T) {
+	s := NewSimulator("dut")
+	clk := s.NewClock("clk", sim.NS(10))
+	sig := NewSignal[int](s, "counter")
+	s.Method("count", func() { sig.Write(sig.Read() + 1) }, clk.Posedge()).DontInitialize()
+	ev := s.NewEvent("never")
+	s.Thread("waiter", func(c *Ctx) { c.Wait(ev) })
+	s.NewDriverIn("cmd", 0x10, 4)
+	s.NewDriverOut("status", 0x20, 2)
+	if err := s.RunCycles(clk, 3); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Describe(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`design "dut"`,
+		"count", "method",
+		"waiter", "thread", "[waiting: never]",
+		"counter", "= 3",
+		"in  cmd", "out status",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Describe missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package hdlsim
+
+import "fmt"
+
+// FIFO is a bounded blocking channel between thread processes, equivalent
+// to sc_fifo<T>: writes block while full, reads block while empty, with
+// delta-cycle notification semantics (a reader unblocked by a write runs
+// in a later delta of the same instant, not recursively).
+type FIFO[T any] struct {
+	sim      *Simulator
+	name     string
+	capacity int
+	buf      []T
+	readEv   *Event // notified when data becomes available
+	writeEv  *Event // notified when space becomes available
+	reads    uint64
+	writes   uint64
+}
+
+// NewFIFO creates a FIFO with the given capacity (≥ 1).
+func NewFIFO[T any](s *Simulator, name string, capacity int) *FIFO[T] {
+	if capacity < 1 {
+		panic(fmt.Sprintf("hdlsim: fifo %q capacity must be ≥ 1", name))
+	}
+	return &FIFO[T]{
+		sim:      s,
+		name:     name,
+		capacity: capacity,
+		readEv:   s.NewEvent(name + ".data_written"),
+		writeEv:  s.NewEvent(name + ".data_read"),
+	}
+}
+
+// Name returns the channel name.
+func (f *FIFO[T]) Name() string { return f.name }
+
+// Len returns the number of buffered items.
+func (f *FIFO[T]) Len() int { return len(f.buf) }
+
+// Cap returns the capacity.
+func (f *FIFO[T]) Cap() int { return f.capacity }
+
+// Reads returns the number of completed read transfers.
+func (f *FIFO[T]) Reads() uint64 { return f.reads }
+
+// Writes returns the number of completed write transfers.
+func (f *FIFO[T]) Writes() uint64 { return f.writes }
+
+// Write blocks the calling thread until space is available, then stores v.
+func (f *FIFO[T]) Write(c *Ctx, v T) {
+	for len(f.buf) >= f.capacity {
+		c.Wait(f.writeEv)
+	}
+	f.buf = append(f.buf, v)
+	f.writes++
+	f.readEv.Notify()
+}
+
+// TryWrite stores v without blocking; reports success. Usable from method
+// processes.
+func (f *FIFO[T]) TryWrite(v T) bool {
+	if len(f.buf) >= f.capacity {
+		return false
+	}
+	f.buf = append(f.buf, v)
+	f.writes++
+	f.readEv.Notify()
+	return true
+}
+
+// Read blocks the calling thread until data is available, then removes
+// and returns the oldest item.
+func (f *FIFO[T]) Read(c *Ctx) T {
+	for len(f.buf) == 0 {
+		c.Wait(f.readEv)
+	}
+	v := f.buf[0]
+	f.buf = f.buf[1:]
+	f.reads++
+	f.writeEv.Notify()
+	return v
+}
+
+// TryRead removes the oldest item without blocking.
+func (f *FIFO[T]) TryRead() (T, bool) {
+	var zero T
+	if len(f.buf) == 0 {
+		return zero, false
+	}
+	v := f.buf[0]
+	f.buf = f.buf[1:]
+	f.reads++
+	f.writeEv.Notify()
+	return v, true
+}
+
+// DataWritten returns the event notified on each write (for method
+// processes reacting to arrivals).
+func (f *FIFO[T]) DataWritten() *Event { return f.readEv }

@@ -1,0 +1,115 @@
+package hdlsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestFIFOProducerConsumer(t *testing.T) {
+	s := NewSimulator("t")
+	f := NewFIFO[int](s, "f", 2)
+	var got []int
+	s.Thread("producer", func(c *Ctx) {
+		for i := 1; i <= 10; i++ {
+			f.Write(c, i)
+			c.WaitTime(sim.NS(1))
+		}
+	})
+	s.Thread("consumer", func(c *Ctx) {
+		for i := 0; i < 10; i++ {
+			got = append(got, f.Read(c))
+			c.WaitTime(sim.NS(3)) // slower than the producer: backpressure
+		}
+	})
+	if err := s.Run(sim.NS(100)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("consumed %d items: %v", len(got), got)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+	if f.Reads() != 10 || f.Writes() != 10 {
+		t.Fatalf("transfer counts %d/%d", f.Reads(), f.Writes())
+	}
+}
+
+func TestFIFOWriterBlocksAtCapacity(t *testing.T) {
+	s := NewSimulator("t")
+	f := NewFIFO[int](s, "f", 3)
+	written := 0
+	s.Thread("producer", func(c *Ctx) {
+		for i := 0; i < 10; i++ {
+			f.Write(c, i)
+			written++
+		}
+	})
+	if err := s.Run(sim.NS(10)); err != nil {
+		t.Fatal(err)
+	}
+	if written != 3 {
+		t.Fatalf("writer completed %d writes with capacity 3 and no reader", written)
+	}
+	if f.Len() != 3 {
+		t.Fatalf("fifo holds %d", f.Len())
+	}
+}
+
+func TestFIFOTryOps(t *testing.T) {
+	s := NewSimulator("t")
+	f := NewFIFO[string](s, "f", 1)
+	if _, ok := f.TryRead(); ok {
+		t.Fatal("TryRead on empty succeeded")
+	}
+	if !f.TryWrite("a") {
+		t.Fatal("TryWrite on empty failed")
+	}
+	if f.TryWrite("b") {
+		t.Fatal("TryWrite beyond capacity succeeded")
+	}
+	v, ok := f.TryRead()
+	if !ok || v != "a" {
+		t.Fatalf("TryRead = %q %v", v, ok)
+	}
+}
+
+func TestFIFOMethodReactsToWrites(t *testing.T) {
+	s := NewSimulator("t")
+	f := NewFIFO[int](s, "f", 8)
+	sum := 0
+	s.Method("drain", func() {
+		for {
+			v, ok := f.TryRead()
+			if !ok {
+				break
+			}
+			sum += v
+		}
+	}, f.DataWritten()).DontInitialize()
+	s.Thread("feed", func(c *Ctx) {
+		for i := 1; i <= 4; i++ {
+			f.TryWrite(i)
+			c.WaitTime(sim.NS(1))
+		}
+	})
+	if err := s.Run(sim.NS(10)); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 10 {
+		t.Fatalf("drained sum %d, want 10", sum)
+	}
+}
+
+func TestFIFOZeroCapacityPanics(t *testing.T) {
+	s := NewSimulator("t")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 accepted")
+		}
+	}()
+	NewFIFO[int](s, "bad", 0)
+}

@@ -1,0 +1,151 @@
+package hdlsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestResolveTableBasics(t *testing.T) {
+	cases := []struct{ a, b, want Logic }{
+		{L0, L0, L0},
+		{L1, L1, L1},
+		{L0, L1, LX}, // bus fight
+		{L1, L0, LX},
+		{LZ, L0, L0}, // Z yields
+		{LZ, L1, L1},
+		{LZ, LZ, LZ},
+		{LX, L0, LX}, // X dominates
+		{LX, LZ, LX},
+		{LX, LX, LX},
+	}
+	for _, c := range cases {
+		if got := Resolve(c.a, c.b); got != c.want {
+			t.Errorf("Resolve(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestResolveAlgebraicProperties(t *testing.T) {
+	vals := func(b byte) Logic { return Logic(b % 4) }
+	// Commutativity.
+	if err := quick.Check(func(a, b byte) bool {
+		return Resolve(vals(a), vals(b)) == Resolve(vals(b), vals(a))
+	}, nil); err != nil {
+		t.Error("commutativity:", err)
+	}
+	// Associativity.
+	if err := quick.Check(func(a, b, c byte) bool {
+		x, y, z := vals(a), vals(b), vals(c)
+		return Resolve(Resolve(x, y), z) == Resolve(x, Resolve(y, z))
+	}, nil); err != nil {
+		t.Error("associativity:", err)
+	}
+	// Idempotence and Z-identity.
+	for l := L0; l <= LZ; l++ {
+		if Resolve(l, l) != l {
+			t.Errorf("Resolve(%v,%v) not idempotent", l, l)
+		}
+		if Resolve(l, LZ) != l {
+			t.Errorf("Z is not identity for %v", l)
+		}
+	}
+}
+
+func TestResolveAllAndConversions(t *testing.T) {
+	if ResolveAll(nil) != LZ {
+		t.Fatal("empty bus must float")
+	}
+	if ResolveAll([]Logic{LZ, L1, LZ}) != L1 {
+		t.Fatal("single driver must win")
+	}
+	if ResolveAll([]Logic{L0, LZ, L1}) != LX {
+		t.Fatal("fight must produce X")
+	}
+	if LogicFromBool(true) != L1 || LogicFromBool(false) != L0 {
+		t.Fatal("bool conversion")
+	}
+	if v, ok := L1.Bool(); !ok || !v {
+		t.Fatal("L1.Bool")
+	}
+	if _, ok := LZ.Bool(); ok {
+		t.Fatal("Z converted to bool")
+	}
+	if Resolve(Logic(7), L0) != LX {
+		t.Fatal("out-of-range logic must resolve to X")
+	}
+	for l := L0; l <= LZ; l++ {
+		if l.String() == "" {
+			t.Fatal("empty logic name")
+		}
+	}
+	if Logic(9).String() == "" {
+		t.Fatal("unknown logic name empty")
+	}
+}
+
+func TestResolvedSignalTriStateBus(t *testing.T) {
+	s := NewSimulator("t")
+	bus := NewResolvedSignal(s, "sda")
+	d1 := bus.NewDriver()
+	d2 := bus.NewDriver()
+	var history []Logic
+	s.Method("mon", func() { history = append(history, bus.Read()) },
+		bus.Changed()).DontInitialize()
+
+	s.Thread("drv", func(c *Ctx) {
+		d1.Drive(L0) // d1 pulls low
+		c.WaitTime(sim.NS(1))
+		d1.Release() // floats
+		c.WaitTime(sim.NS(1))
+		d2.Drive(L1) // d2 drives high
+		c.WaitTime(sim.NS(1))
+		d1.Drive(L0) // conflict with d2 → X
+		c.WaitTime(sim.NS(1))
+		d2.Release() // only d1 remains → 0
+	})
+	if err := s.Run(sim.NS(10)); err != nil {
+		t.Fatal(err)
+	}
+	want := []Logic{L0, LZ, L1, LX, L0}
+	if len(history) != len(want) {
+		t.Fatalf("bus history %v, want %v", history, want)
+	}
+	for i := range want {
+		if history[i] != want[i] {
+			t.Fatalf("bus history %v, want %v", history, want)
+		}
+	}
+}
+
+func TestResolvedSignalLastWriteWinsPerDriver(t *testing.T) {
+	s := NewSimulator("t")
+	bus := NewResolvedSignal(s, "w")
+	d := bus.NewDriver()
+	s.Method("kick", func() {
+		d.Drive(L1)
+		d.Drive(L0) // same delta: last wins
+	})
+	if err := s.Run(sim.NS(1)); err != nil {
+		t.Fatal(err)
+	}
+	if bus.Read() != L0 {
+		t.Fatalf("bus = %v, want 0", bus.Read())
+	}
+}
+
+func TestResolvedSignalTraceCallback(t *testing.T) {
+	s := NewSimulator("t")
+	bus := NewResolvedSignal(s, "w")
+	d := bus.NewDriver()
+	var traced []Logic
+	bus.Trace(func(at sim.Time, v Logic) { traced = append(traced, v) })
+	s.Method("kick", func() { d.Drive(L1) })
+	if err := s.Run(sim.NS(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(traced) != 1 || traced[0] != L1 {
+		t.Fatalf("traced %v", traced)
+	}
+}

@@ -1,0 +1,87 @@
+package hdlsim
+
+import "fmt"
+
+// In is a typed input port: a read-only view of a signal, bound during
+// module construction (sc_in).
+type In[T comparable] struct {
+	name string
+	sig  *Signal[T]
+}
+
+// NewIn creates an unbound input port.
+func NewIn[T comparable](name string) *In[T] { return &In[T]{name: name} }
+
+// Bind connects the port to a signal. Binding twice panics: in a hardware
+// netlist every port has exactly one channel.
+func (p *In[T]) Bind(sig *Signal[T]) {
+	if p.sig != nil {
+		panic(fmt.Sprintf("hdlsim: input port %q already bound", p.name))
+	}
+	p.sig = sig
+}
+
+// Bound reports whether the port has been bound.
+func (p *In[T]) Bound() bool { return p.sig != nil }
+
+// Read returns the bound signal's committed value.
+func (p *In[T]) Read() T {
+	p.mustBind()
+	return p.sig.Read()
+}
+
+// Changed returns the bound signal's value-changed event.
+func (p *In[T]) Changed() *Event {
+	p.mustBind()
+	return p.sig.Changed()
+}
+
+func (p *In[T]) mustBind() {
+	if p.sig == nil {
+		panic(fmt.Sprintf("hdlsim: input port %q used before binding", p.name))
+	}
+}
+
+// Out is a typed output port: a write-only view of a signal (sc_out).
+type Out[T comparable] struct {
+	name string
+	sig  *Signal[T]
+}
+
+// NewOut creates an unbound output port.
+func NewOut[T comparable](name string) *Out[T] { return &Out[T]{name: name} }
+
+// Bind connects the port to a signal.
+func (p *Out[T]) Bind(sig *Signal[T]) {
+	if p.sig != nil {
+		panic(fmt.Sprintf("hdlsim: output port %q already bound", p.name))
+	}
+	p.sig = sig
+}
+
+// Bound reports whether the port has been bound.
+func (p *Out[T]) Bound() bool { return p.sig != nil }
+
+// Write drives the bound signal.
+func (p *Out[T]) Write(v T) {
+	if p.sig == nil {
+		panic(fmt.Sprintf("hdlsim: output port %q used before binding", p.name))
+	}
+	p.sig.Write(v)
+}
+
+// Module is implemented by structural model components. It exists to give
+// testbench builders a uniform way to enumerate design hierarchy; the
+// kernel itself schedules processes, not modules.
+type Module interface {
+	// ModuleName returns the instance name.
+	ModuleName() string
+}
+
+// BaseModule provides the trivial Module implementation for embedding.
+type BaseModule struct {
+	Name string
+}
+
+// ModuleName implements Module.
+func (m *BaseModule) ModuleName() string { return m.Name }

@@ -1,0 +1,562 @@
+package iss
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates RV32I assembly source into machine words (to be
+// loaded at byte address 0 unless the caller relocates). It is a two-pass
+// assembler: pass one sizes instructions and collects labels, pass two
+// encodes. Supported syntax:
+//
+//	label:                     # labels, on their own line or inline
+//	add  rd, rs1, rs2          # R-type ALU ops
+//	addi rd, rs1, imm          # I-type ALU ops (slli/srli/srai shamt)
+//	lw   rd, off(rs1)          # loads: lb lh lw lbu lhu
+//	sw   rs2, off(rs1)         # stores: sb sh sw
+//	beq  rs1, rs2, label       # branches (also numeric byte offsets)
+//	jal  rd, label             # jumps; jalr rd, rs1, imm
+//	lui/auipc rd, imm20
+//	ecall / ebreak
+//	.word value                # literal data word
+//
+// plus the usual pseudo-instructions: nop, mv, li, la, not, neg, j, jr,
+// ret, call, beqz, bnez. Comments start with '#' or '//'. Registers accept
+// both x-names and ABI names (zero, ra, sp, a0..a7, t0..t6, s0..s11, fp).
+func Assemble(src string) ([]uint32, map[string]uint32, error) {
+	lines := strings.Split(src, "\n")
+	type item struct {
+		mnem string
+		ops  []string
+		line int
+	}
+	var items []item
+	labels := make(map[string]uint32)
+	pc := uint32(0)
+
+	// Pass 1: strip comments, peel labels, size every instruction.
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if label == "" || strings.ContainsAny(label, " \t") {
+				return nil, nil, fmt.Errorf("iss: line %d: malformed label %q", ln+1, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, nil, fmt.Errorf("iss: line %d: duplicate label %q", ln+1, label)
+			}
+			labels[label] = pc
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		mnem := strings.ToLower(fields[0])
+		rest := strings.TrimSpace(line[len(fields[0]):])
+		var ops []string
+		if rest != "" {
+			for _, o := range strings.Split(rest, ",") {
+				ops = append(ops, strings.TrimSpace(o))
+			}
+		}
+		it := item{mnem: mnem, ops: ops, line: ln + 1}
+		items = append(items, it)
+		pc += 4 * instWords(mnem, ops)
+	}
+
+	// Pass 2: encode.
+	var out []uint32
+	pc = 0
+	enc := &encoder{labels: labels}
+	for _, it := range items {
+		words, err := enc.encode(it.mnem, it.ops, pc)
+		if err != nil {
+			return nil, nil, fmt.Errorf("iss: line %d: %w", it.line, err)
+		}
+		out = append(out, words...)
+		pc += 4 * uint32(len(words))
+	}
+	return out, labels, nil
+}
+
+// instWords returns how many machine words a (possibly pseudo)
+// instruction expands to.
+func instWords(mnem string, ops []string) uint32 {
+	switch mnem {
+	case "li":
+		if len(ops) == 2 {
+			if v, err := parseImm(ops[1]); err == nil && fitsI12(v) {
+				return 1
+			}
+		}
+		return 2
+	case "la":
+		return 2
+	default:
+		return 1
+	}
+}
+
+func fitsI12(v int64) bool { return v >= -2048 && v <= 2047 }
+
+var regNames = func() map[string]uint32 {
+	m := map[string]uint32{
+		"zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+		"t0": 5, "t1": 6, "t2": 7, "s0": 8, "fp": 8, "s1": 9,
+	}
+	for i := 0; i <= 7; i++ {
+		m[fmt.Sprintf("a%d", i)] = uint32(10 + i)
+	}
+	for i := 2; i <= 11; i++ {
+		m[fmt.Sprintf("s%d", i)] = uint32(16 + i)
+	}
+	for i := 3; i <= 6; i++ {
+		m[fmt.Sprintf("t%d", i)] = uint32(25 + i)
+	}
+	for i := 0; i < 32; i++ {
+		m[fmt.Sprintf("x%d", i)] = uint32(i)
+	}
+	return m
+}()
+
+func parseReg(s string) (uint32, error) {
+	r, ok := regNames[strings.ToLower(strings.TrimSpace(s))]
+	if !ok {
+		return 0, fmt.Errorf("unknown register %q", s)
+	}
+	return r, nil
+}
+
+func parseImm(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	return strconv.ParseInt(s, 0, 64)
+}
+
+// parseMem parses "off(reg)" operands.
+func parseMem(s string) (imm int64, reg uint32, err error) {
+	open := strings.Index(s, "(")
+	close := strings.LastIndex(s, ")")
+	if open < 0 || close < open {
+		return 0, 0, fmt.Errorf("malformed memory operand %q", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr == "" {
+		offStr = "0"
+	}
+	imm, err = parseImm(offStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	reg, err = parseReg(s[open+1 : close])
+	return imm, reg, err
+}
+
+type encoder struct {
+	labels map[string]uint32
+}
+
+// immOrLabel resolves an operand that may be a numeric immediate or a
+// label (absolute address).
+func (e *encoder) immOrLabel(s string) (int64, error) {
+	if v, err := parseImm(s); err == nil {
+		return v, nil
+	}
+	if addr, ok := e.labels[strings.TrimSpace(s)]; ok {
+		return int64(addr), nil
+	}
+	return 0, fmt.Errorf("neither immediate nor label: %q", s)
+}
+
+// branchTarget resolves a branch/jump operand to a pc-relative offset.
+func (e *encoder) branchTarget(s string, pc uint32) (int64, error) {
+	if addr, ok := e.labels[strings.TrimSpace(s)]; ok {
+		return int64(addr) - int64(pc), nil
+	}
+	if v, err := parseImm(s); err == nil {
+		return v, nil
+	}
+	return 0, fmt.Errorf("unknown branch target %q", s)
+}
+
+func encR(funct7, rs2, rs1, funct3, rd, opcode uint32) uint32 {
+	return funct7<<25 | rs2<<20 | rs1<<15 | funct3<<12 | rd<<7 | opcode
+}
+
+func encI(imm int64, rs1, funct3, rd, opcode uint32) (uint32, error) {
+	if !fitsI12(imm) {
+		return 0, fmt.Errorf("immediate %d out of 12-bit range", imm)
+	}
+	return uint32(imm&0xfff)<<20 | rs1<<15 | funct3<<12 | rd<<7 | opcode, nil
+}
+
+func encS(imm int64, rs2, rs1, funct3, opcode uint32) (uint32, error) {
+	if !fitsI12(imm) {
+		return 0, fmt.Errorf("store offset %d out of 12-bit range", imm)
+	}
+	u := uint32(imm & 0xfff)
+	return (u>>5)<<25 | rs2<<20 | rs1<<15 | funct3<<12 | (u&0x1f)<<7 | opcode, nil
+}
+
+func encB(off int64, rs2, rs1, funct3, opcode uint32) (uint32, error) {
+	if off%2 != 0 || off < -4096 || off > 4094 {
+		return 0, fmt.Errorf("branch offset %d invalid", off)
+	}
+	u := uint32(off) & 0x1fff
+	return ((u>>12)&1)<<31 | ((u>>5)&0x3f)<<25 | rs2<<20 | rs1<<15 |
+		funct3<<12 | ((u>>1)&0xf)<<8 | ((u>>11)&1)<<7 | opcode, nil
+}
+
+func encU(imm int64, rd, opcode uint32) (uint32, error) {
+	if imm < 0 || imm > 0xfffff {
+		return 0, fmt.Errorf("upper immediate %d out of 20-bit range", imm)
+	}
+	return uint32(imm)<<12 | rd<<7 | opcode, nil
+}
+
+func encJ(off int64, rd, opcode uint32) (uint32, error) {
+	if off%2 != 0 || off < -(1<<20) || off >= (1<<20) {
+		return 0, fmt.Errorf("jump offset %d invalid", off)
+	}
+	u := uint32(off) & 0x1fffff
+	return ((u>>20)&1)<<31 | ((u>>1)&0x3ff)<<21 | ((u>>11)&1)<<20 |
+		((u>>12)&0xff)<<12 | rd<<7 | opcode, nil
+}
+
+var rFunct = map[string][2]uint32{ // funct3, funct7
+	"add": {0, 0x00}, "sub": {0, 0x20}, "sll": {1, 0x00}, "slt": {2, 0x00},
+	"sltu": {3, 0x00}, "xor": {4, 0x00}, "srl": {5, 0x00}, "sra": {5, 0x20},
+	"or": {6, 0x00}, "and": {7, 0x00},
+}
+
+var iFunct = map[string]uint32{
+	"addi": 0, "slti": 2, "sltiu": 3, "xori": 4, "ori": 6, "andi": 7,
+}
+
+var loadFunct = map[string]uint32{"lb": 0, "lh": 1, "lw": 2, "lbu": 4, "lhu": 5}
+var storeFunct = map[string]uint32{"sb": 0, "sh": 1, "sw": 2}
+var branchFunct = map[string]uint32{
+	"beq": 0, "bne": 1, "blt": 4, "bge": 5, "bltu": 6, "bgeu": 7,
+}
+
+func (e *encoder) encode(mnem string, ops []string, pc uint32) ([]uint32, error) {
+	wantOps := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s expects %d operands, got %d", mnem, n, len(ops))
+		}
+		return nil
+	}
+	if mnem == ".word" {
+		if err := wantOps(1); err != nil {
+			return nil, err
+		}
+		v, err := e.immOrLabel(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{uint32(v)}, nil
+	}
+
+	if f, ok := rFunct[mnem]; ok {
+		if err := wantOps(3); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseReg(ops[0])
+		rs1, err2 := parseReg(ops[1])
+		rs2, err3 := parseReg(ops[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		return []uint32{encR(f[1], rs2, rs1, f[0], rd, 0x33)}, nil
+	}
+
+	if f3, ok := mFunct[mnem]; ok { // RV32M
+		if err := wantOps(3); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseReg(ops[0])
+		rs1, err2 := parseReg(ops[1])
+		rs2, err3 := parseReg(ops[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		return []uint32{encR(0x01, rs2, rs1, f3, rd, 0x33)}, nil
+	}
+
+	if f3, ok := iFunct[mnem]; ok {
+		if err := wantOps(3); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseReg(ops[0])
+		rs1, err2 := parseReg(ops[1])
+		imm, err3 := parseImm(ops[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		w, err := encI(imm, rs1, f3, rd, 0x13)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w}, nil
+	}
+
+	switch mnem {
+	case "slli", "srli", "srai":
+		if err := wantOps(3); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseReg(ops[0])
+		rs1, err2 := parseReg(ops[1])
+		sh, err3 := parseImm(ops[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		if sh < 0 || sh > 31 {
+			return nil, fmt.Errorf("shift amount %d out of range", sh)
+		}
+		var f3, f7 uint32
+		switch mnem {
+		case "slli":
+			f3, f7 = 1, 0
+		case "srli":
+			f3, f7 = 5, 0
+		case "srai":
+			f3, f7 = 5, 0x20
+		}
+		return []uint32{encR(f7, uint32(sh), rs1, f3, rd, 0x13)}, nil
+	}
+
+	if f3, ok := loadFunct[mnem]; ok {
+		if len(ops) != 2 {
+			return nil, fmt.Errorf("%s expects rd, off(rs1)", mnem)
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		imm, rs1, err := parseMem(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		w, err := encI(imm, rs1, f3, rd, 0x03)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w}, nil
+	}
+
+	if f3, ok := storeFunct[mnem]; ok {
+		if len(ops) != 2 {
+			return nil, fmt.Errorf("%s expects rs2, off(rs1)", mnem)
+		}
+		rs2, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		imm, rs1, err := parseMem(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		w, err := encS(imm, rs2, rs1, f3, 0x23)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w}, nil
+	}
+
+	if f3, ok := branchFunct[mnem]; ok {
+		if err := wantOps(3); err != nil {
+			return nil, err
+		}
+		rs1, err1 := parseReg(ops[0])
+		rs2, err2 := parseReg(ops[1])
+		off, err3 := e.branchTarget(ops[2], pc)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		w, err := encB(off, rs2, rs1, f3, 0x63)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w}, nil
+	}
+
+	switch mnem {
+	case "jal":
+		if len(ops) == 1 { // jal label ≡ jal ra, label
+			ops = []string{"ra", ops[0]}
+		}
+		if err := wantOps(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		off, err := e.branchTarget(ops[1], pc)
+		if err != nil {
+			return nil, err
+		}
+		w, err := encJ(off, rd, 0x6f)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w}, nil
+	case "jalr":
+		if len(ops) == 2 { // jalr rd, off(rs1)
+			rd, err := parseReg(ops[0])
+			if err != nil {
+				return nil, err
+			}
+			imm, rs1, err := parseMem(ops[1])
+			if err != nil {
+				return nil, err
+			}
+			w, err := encI(imm, rs1, 0, rd, 0x67)
+			if err != nil {
+				return nil, err
+			}
+			return []uint32{w}, nil
+		}
+		if err := wantOps(3); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseReg(ops[0])
+		rs1, err2 := parseReg(ops[1])
+		imm, err3 := parseImm(ops[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		w, err := encI(imm, rs1, 0, rd, 0x67)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w}, nil
+	case "lui", "auipc":
+		if err := wantOps(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		imm, err := e.immOrLabel(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		op := uint32(0x37)
+		if mnem == "auipc" {
+			op = 0x17
+		}
+		w, err := encU(imm, rd, op)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w}, nil
+	case "ecall":
+		return []uint32{0x00000073}, nil
+	case "ebreak":
+		return []uint32{0x00100073}, nil
+
+	// ---- pseudo-instructions ----
+	case "nop":
+		return []uint32{0x00000013}, nil // addi x0, x0, 0
+	case "mv":
+		if err := wantOps(2); err != nil {
+			return nil, err
+		}
+		return e.encode("addi", []string{ops[0], ops[1], "0"}, pc)
+	case "not":
+		if err := wantOps(2); err != nil {
+			return nil, err
+		}
+		return e.encode("xori", []string{ops[0], ops[1], "-1"}, pc)
+	case "neg":
+		if err := wantOps(2); err != nil {
+			return nil, err
+		}
+		return e.encode("sub", []string{ops[0], "zero", ops[1]}, pc)
+	case "li", "la":
+		if err := wantOps(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := e.immOrLabel(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		if mnem == "li" && fitsI12(v) {
+			w, err := encI(v, 0, 0, rd, 0x13)
+			if err != nil {
+				return nil, err
+			}
+			return []uint32{w}, nil
+		}
+		// lui rd, %hi(v); addi rd, rd, %lo(v)
+		u := uint32(v)
+		hi := (u + 0x800) >> 12
+		lo := int64(int32(u<<20) >> 20)
+		wHi, err := encU(int64(hi&0xfffff), rd, 0x37)
+		if err != nil {
+			return nil, err
+		}
+		wLo, err := encI(lo, rd, 0, rd, 0x13)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{wHi, wLo}, nil
+	case "j":
+		if err := wantOps(1); err != nil {
+			return nil, err
+		}
+		return e.encode("jal", []string{"zero", ops[0]}, pc)
+	case "jr":
+		if err := wantOps(1); err != nil {
+			return nil, err
+		}
+		return e.encode("jalr", []string{"zero", ops[0], "0"}, pc)
+	case "ret":
+		return e.encode("jalr", []string{"zero", "ra", "0"}, pc)
+	case "call":
+		if err := wantOps(1); err != nil {
+			return nil, err
+		}
+		return e.encode("jal", []string{"ra", ops[0]}, pc)
+	case "beqz":
+		if err := wantOps(2); err != nil {
+			return nil, err
+		}
+		return e.encode("beq", []string{ops[0], "zero", ops[1]}, pc)
+	case "bnez":
+		if err := wantOps(2); err != nil {
+			return nil, err
+		}
+		return e.encode("bne", []string{ops[0], "zero", ops[1]}, pc)
+	}
+	return nil, fmt.Errorf("unknown mnemonic %q", mnem)
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

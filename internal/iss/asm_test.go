@@ -1,0 +1,179 @@
+package iss
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleLabelsAndComments(t *testing.T) {
+	src := `
+# leading comment
+start:  li a0, 1        // trailing comment
+        j end
+mid:    li a0, 2
+end:    ecall
+`
+	words, labels, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels["start"] != 0 {
+		t.Fatalf("start at %#x", labels["start"])
+	}
+	if labels["mid"] != 8 || labels["end"] != 12 {
+		t.Fatalf("labels %v", labels)
+	}
+	if len(words) != 4 {
+		t.Fatalf("assembled %d words, want 4", len(words))
+	}
+}
+
+func TestAssembleInlineAndStackedLabels(t *testing.T) {
+	src := "a: b: c: ecall"
+	_, labels, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []string{"a", "b", "c"} {
+		if labels[l] != 0 {
+			t.Fatalf("label %s at %#x", l, labels[l])
+		}
+	}
+}
+
+func TestAssembleLiExpansion(t *testing.T) {
+	// Small immediates take one word; large take two (lui+addi).
+	small, _, err := Assemble("li a0, 100\necall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small) != 2 {
+		t.Fatalf("small li assembled to %d words", len(small))
+	}
+	large, _, err := Assemble("li a0, 0x12345678\necall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(large) != 3 {
+		t.Fatalf("large li assembled to %d words", len(large))
+	}
+	// The %hi rounding case: low half ≥ 0x800 must round the lui up.
+	cpu := run(t, "li a0, 0x12345fff\necall", nil)
+	if cpu.X[10] != 0x12345fff {
+		t.Fatalf("li 0x12345fff = %#x", cpu.X[10])
+	}
+	cpu2 := run(t, "li a0, 0xFFFFF800\necall", nil)
+	if cpu2.X[10] != 0xFFFFF800 {
+		t.Fatalf("li 0xFFFFF800 = %#x", cpu2.X[10])
+	}
+}
+
+func TestAssembleWordDirectiveAndLa(t *testing.T) {
+	src := `
+    la   t0, table
+    lw   a0, 0(t0)
+    lw   a1, 4(t0)
+    add  a0, a0, a1
+    ecall
+table:
+    .word 40
+    .word 2
+`
+	words, labels, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels["table"] == 0 {
+		t.Fatal("table label missing")
+	}
+	cpu := New(4096)
+	if err := cpu.LoadProgram(words, 0); err != nil {
+		t.Fatal(err)
+	}
+	halt, err := cpu.Run(100)
+	if err != nil || halt != HaltECall {
+		t.Fatalf("halt=%v err=%v", halt, err)
+	}
+	if cpu.X[10] != 42 {
+		t.Fatalf("a0 = %d, want 42", cpu.X[10])
+	}
+}
+
+func TestAssembleABIAndXNames(t *testing.T) {
+	a, _, err := Assemble("add a0, t0, s1\necall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Assemble("add x10, x5, x9\necall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Fatalf("ABI and x-name encodings differ: %#x vs %#x", a[0], b[0])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"frobnicate a0, a1",   // unknown mnemonic
+		"add a0, a1",          // wrong arity
+		"addi a0, a1, 5000",   // imm out of range
+		"lw a0, 4(qq)",        // bad register
+		"lw a0, 4",            // malformed mem operand
+		"beq a0, a1, nowhere", // unknown label
+		"dup: nop\ndup: nop",  // duplicate label
+		"slli a0, a0, 33",     // shift out of range
+		"lui a0, 0x100000",    // 20-bit overflow
+		"bad label: nop",      // label with space
+		"sw a0, 99999(a1)",    // store offset range
+		".word",               // missing operand
+		"jalr a0, a1, a2, a3", // arity
+		"beq a0, a1, 3",       // odd branch offset
+	}
+	for _, src := range cases {
+		if _, _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestAssembleErrorCarriesLineNumber(t *testing.T) {
+	_, _, err := Assemble("nop\nnop\nbogus x, y\n")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error %q lacks line number", err)
+	}
+}
+
+func TestBranchEncodingRoundTrip(t *testing.T) {
+	// Forward and backward branch offsets execute correctly.
+	src := `
+    li  t0, 0
+    li  a0, 0
+back:
+    addi a0, a0, 1
+    addi t0, t0, 1
+    li   t1, 3
+    blt  t0, t1, back
+    ecall`
+	cpu := run(t, src, nil)
+	if cpu.X[10] != 3 {
+		t.Fatalf("loop executed %d times, want 3", cpu.X[10])
+	}
+}
+
+func TestJalSingleOperandUsesRA(t *testing.T) {
+	one, _, err := Assemble("jal target\ntarget: ecall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, _, err := Assemble("jal ra, target\ntarget: ecall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one[0] != two[0] {
+		t.Fatal("jal label and jal ra,label differ")
+	}
+}

@@ -1,0 +1,355 @@
+// Package iss implements a small RV32I-subset instruction-set simulator
+// with a two-pass assembler. The board's application software uses it to
+// execute its compute kernels (the packet checksum of the paper's
+// testbench) as real instructions, so the cycle costs charged to RTOS
+// threads are measured rather than guessed — the timing-annotation
+// approach of the software timing models the paper cites ([14],[15]).
+//
+// Supported: the RV32I base integer ISA minus FENCE/CSR (ADD..AND,
+// immediates, loads/stores, branches, JAL/JALR, LUI/AUIPC, ECALL/EBREAK).
+// ECALL halts the CPU, returning control to the caller — the convention
+// our bare-metal kernels use to "return".
+package iss
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// HaltReason tells why Run stopped.
+type HaltReason int
+
+const (
+	// HaltNone: still runnable (only from Step).
+	HaltNone HaltReason = iota
+	// HaltECall: the program executed ECALL (normal completion).
+	HaltECall
+	// HaltEBreak: the program executed EBREAK (debugger trap).
+	HaltEBreak
+	// HaltMaxSteps: the step budget ran out.
+	HaltMaxSteps
+)
+
+// String implements fmt.Stringer.
+func (h HaltReason) String() string {
+	switch h {
+	case HaltNone:
+		return "running"
+	case HaltECall:
+		return "ecall"
+	case HaltEBreak:
+		return "ebreak"
+	case HaltMaxSteps:
+		return "max-steps"
+	default:
+		return fmt.Sprintf("HaltReason(%d)", int(h))
+	}
+}
+
+// CostModel assigns a cycle cost to each instruction class; the defaults
+// model a simple in-order pipeline with a two-cycle memory and taken-branch
+// penalty.
+type CostModel struct {
+	ALU, Load, Store, BranchTaken, BranchNotTaken, Jump uint64
+}
+
+// DefaultCosts returns the standard cost model.
+func DefaultCosts() CostModel {
+	return CostModel{ALU: 1, Load: 2, Store: 2, BranchTaken: 2, BranchNotTaken: 1, Jump: 2}
+}
+
+// CPU is one RV32IM hart with a private little-endian memory.
+type CPU struct {
+	X      [32]uint32 // x0 hardwired to zero
+	PC     uint32
+	Mem    []byte
+	Cycles uint64 // accumulated cost-model cycles
+	Steps  uint64 // retired instructions
+	Costs  CostModel
+	// DisableM turns the RV32M extension off (RV32I-only core).
+	DisableM bool
+	// MMIO, when non-nil, is consulted before memory on every load and
+	// store; a handled access bypasses Mem entirely. This is the hook
+	// that lets the CPU sit on a simulated bus (see internal/cpucore).
+	MMIO MMIOHandler
+}
+
+// MMIOHandler intercepts loads and stores in memory-mapped I/O regions.
+// handled=false passes the access through to the CPU's private memory.
+// Byte and half accesses are widened: the handler always moves a 32-bit
+// value and the CPU extracts/merges the addressed lane.
+type MMIOHandler interface {
+	// MMIOLoad returns the word containing byte address addr.
+	MMIOLoad(addr uint32) (val uint32, handled bool, err error)
+	// MMIOStore writes the sized value at byte address addr.
+	MMIOStore(addr uint32, size int, val uint32) (handled bool, err error)
+}
+
+// New creates a CPU with memSize bytes of zeroed memory.
+func New(memSize int) *CPU {
+	return &CPU{Mem: make([]byte, memSize), Costs: DefaultCosts()}
+}
+
+// Reset clears registers, counters and the PC (memory is preserved).
+func (c *CPU) Reset() {
+	c.X = [32]uint32{}
+	c.PC = 0
+	c.Cycles = 0
+	c.Steps = 0
+}
+
+// LoadProgram copies machine words into memory at byte address at.
+func (c *CPU) LoadProgram(words []uint32, at uint32) error {
+	if int(at)+4*len(words) > len(c.Mem) {
+		return fmt.Errorf("iss: program of %d words does not fit at %#x", len(words), at)
+	}
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(c.Mem[at+uint32(4*i):], w)
+	}
+	return nil
+}
+
+// WriteHalf stores a 16-bit little-endian value at a byte address.
+func (c *CPU) WriteHalf(addr uint32, v uint16) error {
+	if int(addr)+2 > len(c.Mem) {
+		return fmt.Errorf("iss: half store at %#x out of memory", addr)
+	}
+	binary.LittleEndian.PutUint16(c.Mem[addr:], v)
+	return nil
+}
+
+// WriteWord stores a 32-bit little-endian value at a byte address.
+func (c *CPU) WriteWord(addr uint32, v uint32) error {
+	if int(addr)+4 > len(c.Mem) {
+		return fmt.Errorf("iss: word store at %#x out of memory", addr)
+	}
+	binary.LittleEndian.PutUint32(c.Mem[addr:], v)
+	return nil
+}
+
+// ReadWord loads a 32-bit value from a byte address.
+func (c *CPU) ReadWord(addr uint32) (uint32, error) {
+	if int(addr)+4 > len(c.Mem) {
+		return 0, fmt.Errorf("iss: word load at %#x out of memory", addr)
+	}
+	return binary.LittleEndian.Uint32(c.Mem[addr:]), nil
+}
+
+func signExtend(v uint32, bits uint) uint32 {
+	shift := 32 - bits
+	return uint32(int32(v<<shift) >> shift)
+}
+
+// Step executes one instruction. It returns the halt reason (HaltNone when
+// execution should continue) or an error for illegal instructions and
+// memory faults.
+func (c *CPU) Step() (HaltReason, error) {
+	if int(c.PC)+4 > len(c.Mem) {
+		return HaltNone, fmt.Errorf("iss: PC %#x outside memory", c.PC)
+	}
+	inst := binary.LittleEndian.Uint32(c.Mem[c.PC:])
+	opcode := inst & 0x7f
+	rd := (inst >> 7) & 0x1f
+	funct3 := (inst >> 12) & 0x7
+	rs1 := (inst >> 15) & 0x1f
+	rs2 := (inst >> 20) & 0x1f
+	funct7 := inst >> 25
+
+	nextPC := c.PC + 4
+	cost := c.Costs.ALU
+	setRd := func(v uint32) {
+		if rd != 0 {
+			c.X[rd] = v
+		}
+	}
+
+	switch opcode {
+	case 0x33: // R-type ALU
+		if funct7 == 0x01 { // RV32M
+			mCost, ok, err := c.stepMExt(funct3, rd, rs1, rs2)
+			if err != nil {
+				return HaltNone, err
+			}
+			if !ok {
+				return HaltNone, fmt.Errorf("iss: illegal M-ext funct3=%d at %#x", funct3, c.PC)
+			}
+			c.Cycles += mCost
+			c.Steps++
+			c.PC = nextPC
+			return HaltNone, nil
+		}
+		a, b := c.X[rs1], c.X[rs2]
+		var v uint32
+		switch {
+		case funct3 == 0 && funct7 == 0x00:
+			v = a + b
+		case funct3 == 0 && funct7 == 0x20:
+			v = a - b
+		case funct3 == 1 && funct7 == 0x00:
+			v = a << (b & 31)
+		case funct3 == 2 && funct7 == 0x00: // SLT
+			if int32(a) < int32(b) {
+				v = 1
+			}
+		case funct3 == 3 && funct7 == 0x00: // SLTU
+			if a < b {
+				v = 1
+			}
+		case funct3 == 4 && funct7 == 0x00:
+			v = a ^ b
+		case funct3 == 5 && funct7 == 0x00:
+			v = a >> (b & 31)
+		case funct3 == 5 && funct7 == 0x20:
+			v = uint32(int32(a) >> (b & 31))
+		case funct3 == 6 && funct7 == 0x00:
+			v = a | b
+		case funct3 == 7 && funct7 == 0x00:
+			v = a & b
+		default:
+			return HaltNone, fmt.Errorf("iss: illegal R-type funct3=%d funct7=%#x at %#x", funct3, funct7, c.PC)
+		}
+		setRd(v)
+	case 0x13: // I-type ALU
+		a := c.X[rs1]
+		imm := signExtend(inst>>20, 12)
+		shamt := (inst >> 20) & 31
+		var v uint32
+		switch funct3 {
+		case 0:
+			v = a + imm
+		case 1:
+			if funct7 != 0 {
+				return HaltNone, fmt.Errorf("iss: illegal SLLI at %#x", c.PC)
+			}
+			v = a << shamt
+		case 2:
+			if int32(a) < int32(imm) {
+				v = 1
+			}
+		case 3:
+			if a < imm {
+				v = 1
+			}
+		case 4:
+			v = a ^ imm
+		case 5:
+			switch funct7 {
+			case 0x00:
+				v = a >> shamt
+			case 0x20:
+				v = uint32(int32(a) >> shamt)
+			default:
+				return HaltNone, fmt.Errorf("iss: illegal shift at %#x", c.PC)
+			}
+		case 6:
+			v = a | imm
+		case 7:
+			v = a & imm
+		}
+		setRd(v)
+	case 0x03: // loads
+		imm := signExtend(inst>>20, 12)
+		addr := c.X[rs1] + imm
+		cost = c.Costs.Load
+		switch funct3 {
+		case 0, 1, 2, 4, 5:
+			v, err := c.load(addr, funct3)
+			if err != nil {
+				return HaltNone, err
+			}
+			setRd(v)
+		default:
+			return HaltNone, fmt.Errorf("iss: illegal load funct3=%d at %#x", funct3, c.PC)
+		}
+	case 0x23: // stores
+		imm := signExtend(((inst>>25)<<5)|rd, 12)
+		addr := c.X[rs1] + imm
+		cost = c.Costs.Store
+		switch funct3 {
+		case 0, 1, 2:
+			if err := c.store(addr, funct3, c.X[rs2]); err != nil {
+				return HaltNone, err
+			}
+		default:
+			return HaltNone, fmt.Errorf("iss: illegal store funct3=%d at %#x", funct3, c.PC)
+		}
+	case 0x63: // branches
+		imm := signExtend(
+			((inst>>31)<<12)|(((inst>>7)&1)<<11)|(((inst>>25)&0x3f)<<5)|(((inst>>8)&0xf)<<1), 13)
+		a, b := c.X[rs1], c.X[rs2]
+		var take bool
+		switch funct3 {
+		case 0:
+			take = a == b
+		case 1:
+			take = a != b
+		case 4:
+			take = int32(a) < int32(b)
+		case 5:
+			take = int32(a) >= int32(b)
+		case 6:
+			take = a < b
+		case 7:
+			take = a >= b
+		default:
+			return HaltNone, fmt.Errorf("iss: illegal branch funct3=%d at %#x", funct3, c.PC)
+		}
+		if take {
+			nextPC = c.PC + imm
+			cost = c.Costs.BranchTaken
+		} else {
+			cost = c.Costs.BranchNotTaken
+		}
+	case 0x6f: // JAL
+		imm := signExtend(
+			((inst>>31)<<20)|(((inst>>12)&0xff)<<12)|(((inst>>20)&1)<<11)|(((inst>>21)&0x3ff)<<1), 21)
+		setRd(c.PC + 4)
+		nextPC = c.PC + imm
+		cost = c.Costs.Jump
+	case 0x67: // JALR
+		if funct3 != 0 {
+			return HaltNone, fmt.Errorf("iss: illegal JALR funct3=%d at %#x", funct3, c.PC)
+		}
+		imm := signExtend(inst>>20, 12)
+		target := (c.X[rs1] + imm) &^ 1
+		setRd(c.PC + 4)
+		nextPC = target
+		cost = c.Costs.Jump
+	case 0x37: // LUI
+		setRd(inst & 0xfffff000)
+	case 0x17: // AUIPC
+		setRd(c.PC + (inst & 0xfffff000))
+	case 0x73: // SYSTEM
+		c.Cycles += cost
+		c.Steps++
+		c.PC = nextPC
+		switch inst >> 20 {
+		case 0:
+			return HaltECall, nil
+		case 1:
+			return HaltEBreak, nil
+		default:
+			return HaltNone, fmt.Errorf("iss: unsupported SYSTEM instruction %#x at %#x", inst, c.PC-4)
+		}
+	default:
+		return HaltNone, fmt.Errorf("iss: illegal opcode %#02x at %#x (inst %#08x)", opcode, c.PC, inst)
+	}
+	c.Cycles += cost
+	c.Steps++
+	c.PC = nextPC
+	return HaltNone, nil
+}
+
+// Run executes until the program halts or maxSteps instructions retire.
+func (c *CPU) Run(maxSteps uint64) (HaltReason, error) {
+	for i := uint64(0); i < maxSteps; i++ {
+		h, err := c.Step()
+		if err != nil {
+			return HaltNone, err
+		}
+		if h != HaltNone {
+			return h, nil
+		}
+	}
+	return HaltMaxSteps, nil
+}

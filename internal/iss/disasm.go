@@ -1,0 +1,100 @@
+package iss
+
+import "fmt"
+
+// Disasm decodes one machine word into assembler syntax (the same dialect
+// Assemble accepts, with x-register names and numeric offsets). Unknown
+// encodings render as ".word 0x…" so a full round trip never fails.
+func Disasm(inst uint32) string {
+	opcode := inst & 0x7f
+	rd := (inst >> 7) & 0x1f
+	funct3 := (inst >> 12) & 0x7
+	rs1 := (inst >> 15) & 0x1f
+	rs2 := (inst >> 20) & 0x1f
+	funct7 := inst >> 25
+	immI := int32(inst) >> 20
+	r := func(n uint32) string { return fmt.Sprintf("x%d", n) }
+
+	switch opcode {
+	case 0x33:
+		if funct7 == 0x01 {
+			for name, f3 := range mFunct {
+				if f3 == funct3 {
+					return fmt.Sprintf("%s %s, %s, %s", name, r(rd), r(rs1), r(rs2))
+				}
+			}
+			break
+		}
+		for name, f := range rFunct {
+			if f[0] == funct3 && f[1] == funct7 {
+				return fmt.Sprintf("%s %s, %s, %s", name, r(rd), r(rs1), r(rs2))
+			}
+		}
+	case 0x13:
+		switch funct3 {
+		case 1:
+			return fmt.Sprintf("slli %s, %s, %d", r(rd), r(rs1), rs2)
+		case 5:
+			if funct7 == 0x20 {
+				return fmt.Sprintf("srai %s, %s, %d", r(rd), r(rs1), rs2)
+			}
+			return fmt.Sprintf("srli %s, %s, %d", r(rd), r(rs1), rs2)
+		}
+		for name, f3 := range iFunct {
+			if f3 == funct3 {
+				return fmt.Sprintf("%s %s, %s, %d", name, r(rd), r(rs1), immI)
+			}
+		}
+	case 0x03:
+		for name, f3 := range loadFunct {
+			if f3 == funct3 {
+				return fmt.Sprintf("%s %s, %d(%s)", name, r(rd), immI, r(rs1))
+			}
+		}
+	case 0x23:
+		imm := int32(signExtend(((inst>>25)<<5)|rd, 12))
+		for name, f3 := range storeFunct {
+			if f3 == funct3 {
+				return fmt.Sprintf("%s %s, %d(%s)", name, r(rs2), imm, r(rs1))
+			}
+		}
+	case 0x63:
+		imm := int32(signExtend(
+			((inst>>31)<<12)|(((inst>>7)&1)<<11)|(((inst>>25)&0x3f)<<5)|(((inst>>8)&0xf)<<1), 13))
+		for name, f3 := range branchFunct {
+			if f3 == funct3 {
+				return fmt.Sprintf("%s %s, %s, %d", name, r(rs1), r(rs2), imm)
+			}
+		}
+	case 0x6f:
+		imm := int32(signExtend(
+			((inst>>31)<<20)|(((inst>>12)&0xff)<<12)|(((inst>>20)&1)<<11)|(((inst>>21)&0x3ff)<<1), 21))
+		return fmt.Sprintf("jal %s, %d", r(rd), imm)
+	case 0x67:
+		if funct3 == 0 {
+			return fmt.Sprintf("jalr %s, %d(%s)", r(rd), immI, r(rs1))
+		}
+	case 0x37:
+		return fmt.Sprintf("lui %s, 0x%x", r(rd), inst>>12)
+	case 0x17:
+		return fmt.Sprintf("auipc %s, 0x%x", r(rd), inst>>12)
+	case 0x73:
+		switch inst >> 20 {
+		case 0:
+			return "ecall"
+		case 1:
+			return "ebreak"
+		}
+	}
+	return fmt.Sprintf(".word 0x%08x", inst)
+}
+
+// DisasmProgram renders a whole program with addresses, one instruction
+// per line — the format a debugger or trace viewer would show.
+func DisasmProgram(words []uint32, base uint32) []string {
+	out := make([]string, len(words))
+	for i, w := range words {
+		out[i] = fmt.Sprintf("%08x:  %08x  %s", base+uint32(4*i), w, Disasm(w))
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package iss
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/checksum"
+)
+
+func TestMExtensionArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want uint32
+	}{
+		{"li a1, 7\nli a2, 6\nmul a0, a1, a2\necall", 42},
+		{"li a1, -3\nli a2, 5\nmul a0, a1, a2\necall", uint32(0xfffffff1)},
+		{"li a1, 0x10000\nli a2, 0x10000\nmulhu a0, a1, a2\necall", 1},
+		{"li a1, -1\nli a2, -1\nmulh a0, a1, a2\necall", 0}, // (-1)*(-1)=1, high word 0
+		{"li a1, -8\nli a2, 2\nmulhsu a0, a1, a2\necall", 0xffffffff},
+		{"li a1, 100\nli a2, 7\ndiv a0, a1, a2\necall", 14},
+		{"li a1, -100\nli a2, 7\ndiv a0, a1, a2\necall", uint32(0xfffffff2)}, // -14
+		{"li a1, 100\nli a2, 7\nrem a0, a1, a2\necall", 2},
+		{"li a1, -100\nli a2, 7\nrem a0, a1, a2\necall", uint32(0xfffffffe)}, // -2
+		{"li a1, 100\nli a2, 7\ndivu a0, a1, a2\necall", 14},
+		{"li a1, 100\nli a2, 7\nremu a0, a1, a2\necall", 2},
+		// RISC-V division-by-zero semantics (no trap).
+		{"li a1, 5\nli a2, 0\ndiv a0, a1, a2\necall", 0xffffffff},
+		{"li a1, 5\nli a2, 0\ndivu a0, a1, a2\necall", 0xffffffff},
+		{"li a1, 5\nli a2, 0\nrem a0, a1, a2\necall", 5},
+		{"li a1, 5\nli a2, 0\nremu a0, a1, a2\necall", 5},
+		// Signed overflow case.
+		{"li a1, -2147483648\nli a2, -1\ndiv a0, a1, a2\necall", 0x80000000},
+		{"li a1, -2147483648\nli a2, -1\nrem a0, a1, a2\necall", 0},
+	}
+	for _, c := range cases {
+		cpu := run(t, c.src, nil)
+		if cpu.X[10] != c.want {
+			t.Errorf("%q: a0 = %#x, want %#x", c.src, cpu.X[10], c.want)
+		}
+	}
+}
+
+func TestMExtensionDisabled(t *testing.T) {
+	words, _, err := Assemble("li a1, 2\nli a2, 3\nmul a0, a1, a2\necall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := New(4096)
+	cpu.DisableM = true
+	cpu.LoadProgram(words, 0)
+	if _, err := cpu.Run(100); err == nil {
+		t.Fatal("RV32I-only core executed an M instruction")
+	}
+}
+
+func TestMExtensionCosts(t *testing.T) {
+	mul := run(t, "mul a0, a1, a2\necall", nil)
+	div := run(t, "div a0, a1, a2\necall", nil)
+	if mul.Cycles != mulCost+1 { // +1 for ecall
+		t.Fatalf("mul cycles %d", mul.Cycles)
+	}
+	if div.Cycles != divCost+1 {
+		t.Fatalf("div cycles %d", div.Cycles)
+	}
+}
+
+func TestDisasmRoundTrip(t *testing.T) {
+	src := `
+start:
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    li   t0, 0
+    lui  t1, 0xbeef
+    auipc t2, 0
+loop:
+    lhu  a0, 4(t0)
+    mul  a1, a0, a0
+    div  a2, a1, a0
+    blt  t0, t1, loop
+    jal  ra, start
+    jalr zero, 0(ra)
+    ecall
+    ebreak
+`
+	words, _, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disassemble then re-assemble: identical machine code.
+	lines := make([]string, len(words))
+	for i, w := range words {
+		lines[i] = Disasm(w)
+		if strings.HasPrefix(lines[i], ".word") {
+			t.Fatalf("word %d (%#08x) did not disassemble", i, w)
+		}
+	}
+	re, _, err := Assemble(strings.Join(lines, "\n"))
+	if err != nil {
+		t.Fatalf("reassembling disassembly: %v\n%s", err, strings.Join(lines, "\n"))
+	}
+	if len(re) != len(words) {
+		t.Fatalf("reassembled to %d words, want %d", len(re), len(words))
+	}
+	for i := range words {
+		if re[i] != words[i] {
+			t.Fatalf("word %d: %#08x → %q → %#08x", i, words[i], lines[i], re[i])
+		}
+	}
+}
+
+func TestDisasmUnknownWord(t *testing.T) {
+	if got := Disasm(0xffffffff); !strings.HasPrefix(got, ".word") {
+		t.Fatalf("garbage decoded as %q", got)
+	}
+}
+
+func TestDisasmProgramFormat(t *testing.T) {
+	lines := DisasmProgram([]uint32{0x00000013, 0x00000073}, 0x100)
+	if len(lines) != 2 {
+		t.Fatal(lines)
+	}
+	if !strings.Contains(lines[0], "00000100:") || !strings.Contains(lines[1], "ecall") {
+		t.Fatalf("%v", lines)
+	}
+}
+
+func TestCRC16KernelMatchesReference(t *testing.T) {
+	// The canonical vector first.
+	crc, cycles, err := RunCRC16([]byte("123456789"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crc != 0x29b1 {
+		t.Fatalf("CRC kernel(123456789) = %#04x, want 0x29b1", crc)
+	}
+	if cycles == 0 {
+		t.Fatal("no cycles charged")
+	}
+	// Differential against the Go implementation.
+	f := func(data []byte) bool {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		got, _, err := RunCRC16(data)
+		if err != nil {
+			return false
+		}
+		return got == checksum.CRC16CCITT(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCRC16KernelCostPerByte(t *testing.T) {
+	_, c16, err := RunCRC16(make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c64, err := RunCRC16(make([]byte, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perByte := float64(c64-c16) / 48
+	// Bitwise CRC: 8 bit iterations × ~7 instructions ≈ 60–100 cycles/byte.
+	if perByte < 40 || perByte > 150 {
+		t.Fatalf("CRC cost %.1f cycles/byte outside plausible range", perByte)
+	}
+}

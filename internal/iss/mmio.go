@@ -1,0 +1,83 @@
+package iss
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// load performs a sized load at addr, consulting the MMIO handler first.
+// funct3 is the RISC-V load encoding (0=LB 1=LH 2=LW 4=LBU 5=LHU).
+func (c *CPU) load(addr, funct3 uint32) (uint32, error) {
+	size := 1 << (funct3 & 3)
+	if c.MMIO != nil {
+		word, handled, err := c.MMIO.MMIOLoad(addr &^ 3)
+		if err != nil {
+			return 0, err
+		}
+		if handled {
+			lane := addr & 3
+			var v uint32
+			switch size {
+			case 1:
+				v = (word >> (8 * lane)) & 0xff
+				if funct3 == 0 {
+					v = signExtend(v, 8)
+				}
+			case 2:
+				v = (word >> (8 * (lane & 2))) & 0xffff
+				if funct3 == 1 {
+					v = signExtend(v, 16)
+				}
+			default:
+				v = word
+			}
+			return v, nil
+		}
+	}
+	if int(addr)+size > len(c.Mem) {
+		return 0, fmt.Errorf("iss: %d-byte load at %#x out of memory (pc %#x)", size, addr, c.PC)
+	}
+	switch size {
+	case 1:
+		v := uint32(c.Mem[addr])
+		if funct3 == 0 {
+			v = signExtend(v, 8)
+		}
+		return v, nil
+	case 2:
+		v := uint32(binary.LittleEndian.Uint16(c.Mem[addr:]))
+		if funct3 == 1 {
+			v = signExtend(v, 16)
+		}
+		return v, nil
+	default:
+		return binary.LittleEndian.Uint32(c.Mem[addr:]), nil
+	}
+}
+
+// store performs a sized store at addr, consulting the MMIO handler first.
+// funct3 is the RISC-V store encoding (0=SB 1=SH 2=SW).
+func (c *CPU) store(addr, funct3, val uint32) error {
+	size := 1 << funct3
+	if c.MMIO != nil {
+		handled, err := c.MMIO.MMIOStore(addr, size, val)
+		if err != nil {
+			return err
+		}
+		if handled {
+			return nil
+		}
+	}
+	if int(addr)+size > len(c.Mem) {
+		return fmt.Errorf("iss: %d-byte store at %#x out of memory (pc %#x)", size, addr, c.PC)
+	}
+	switch size {
+	case 1:
+		c.Mem[addr] = byte(val)
+	case 2:
+		binary.LittleEndian.PutUint16(c.Mem[addr:], uint16(val))
+	default:
+		binary.LittleEndian.PutUint32(c.Mem[addr:], val)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package iss
+
+import "fmt"
+
+// The RV32M standard extension (MUL/DIV/REM), decoded from the R-type
+// opcode space with funct7 = 0x01. Kept in its own file because it is an
+// extension in the ISA sense too: CPUs reject it when DisableM is set,
+// which the tests use to pin down the base-ISA/extension boundary.
+
+// mExtCost is the cycle cost of multiply/divide on the modelled pipeline.
+const (
+	mulCost = 3
+	divCost = 16
+)
+
+// stepMExt executes one RV32M instruction (funct7 == 0x01 in the R-type
+// space). Returns false if funct3 does not decode.
+func (c *CPU) stepMExt(funct3, rd, rs1, rs2 uint32) (cost uint64, ok bool, err error) {
+	if c.DisableM {
+		return 0, false, fmt.Errorf("iss: RV32M instruction at %#x but M extension disabled", c.PC)
+	}
+	a, b := c.X[rs1], c.X[rs2]
+	var v uint32
+	cost = mulCost
+	switch funct3 {
+	case 0: // MUL
+		v = a * b
+	case 1: // MULH
+		v = uint32((int64(int32(a)) * int64(int32(b))) >> 32)
+	case 2: // MULHSU
+		v = uint32((int64(int32(a)) * int64(b)) >> 32)
+	case 3: // MULHU
+		v = uint32((uint64(a) * uint64(b)) >> 32)
+	case 4: // DIV
+		cost = divCost
+		switch {
+		case b == 0:
+			v = ^uint32(0) // RISC-V: division by zero yields all ones
+		case int32(a) == -1<<31 && int32(b) == -1:
+			v = a // overflow case: result = dividend
+		default:
+			v = uint32(int32(a) / int32(b))
+		}
+	case 5: // DIVU
+		cost = divCost
+		if b == 0 {
+			v = ^uint32(0)
+		} else {
+			v = a / b
+		}
+	case 6: // REM
+		cost = divCost
+		switch {
+		case b == 0:
+			v = a
+		case int32(a) == -1<<31 && int32(b) == -1:
+			v = 0
+		default:
+			v = uint32(int32(a) % int32(b))
+		}
+	case 7: // REMU
+		cost = divCost
+		if b == 0 {
+			v = a
+		} else {
+			v = a % b
+		}
+	default:
+		return 0, false, nil
+	}
+	if rd != 0 {
+		c.X[rd] = v
+	}
+	return cost, true, nil
+}
+
+var mFunct = map[string]uint32{
+	"mul": 0, "mulh": 1, "mulhsu": 2, "mulhu": 3,
+	"div": 4, "divu": 5, "rem": 6, "remu": 7,
+}

@@ -1,0 +1,150 @@
+package iss
+
+import "fmt"
+
+// ChecksumSource is the RV32 assembly for the board application's
+// packet-verification kernel: the RFC 1071 ones-complement sum over 16-bit
+// words. Calling convention (bare metal):
+//
+//	a0 = byte address of the first 16-bit word
+//	a1 = number of 16-bit words
+//	returns the folded complement in a0; halts with ECALL
+//
+// This is the "C application computing the checksum" of the paper's
+// section 6, executed as instructions so its cycle cost is measured.
+const ChecksumSource = `
+# ones-complement internet checksum over a1 halfwords at a0
+checksum:
+    li   t0, 0            # running sum
+loop:
+    beqz a1, fold
+    lhu  t1, 0(a0)
+    add  t0, t0, t1
+    addi a0, a0, 2
+    addi a1, a1, -1
+    j    loop
+fold:                     # fold carries: sum = (sum & 0xffff) + (sum >> 16)
+    srli t1, t0, 16
+    beqz t1, done
+    slli t2, t0, 16
+    srli t2, t2, 16
+    add  t0, t1, t2
+    j    fold
+done:
+    not  a0, t0
+    slli a0, a0, 16       # truncate to 16 bits
+    srli a0, a0, 16
+    ecall
+`
+
+// ChecksumProgram is the assembled checksum kernel, built once at package
+// init (the source is a constant; failure to assemble is a programming
+// error caught by every test run).
+var ChecksumProgram = func() []uint32 {
+	words, _, err := Assemble(ChecksumSource)
+	if err != nil {
+		panic(fmt.Sprintf("iss: checksum kernel does not assemble: %v", err))
+	}
+	return words
+}()
+
+// CRC16Source is the RV32 assembly for the bitwise CRC-16/CCITT-FALSE
+// kernel (poly 0x1021, init 0xFFFF) used by the hardware/software
+// partitioning example: a0 = byte address of the data, a1 = byte count;
+// returns the CRC in a0. Roughly 8 instructions per bit — exactly the
+// kind of kernel a designer would consider moving into the FPGA.
+const CRC16Source = `
+crc16:
+    li   t0, 0xffff       # crc
+    li   t3, 0x1021       # polynomial
+    li   t4, 0x8000
+    li   t5, 0xffff
+byteloop:
+    beqz a1, done
+    lbu  t1, 0(a0)
+    slli t1, t1, 8
+    xor  t0, t0, t1
+    li   t2, 8            # bit counter
+bitloop:
+    and  t6, t0, t4       # crc & 0x8000 ?
+    slli t0, t0, 1
+    beqz t6, nopoly
+    xor  t0, t0, t3
+nopoly:
+    and  t0, t0, t5       # keep 16 bits
+    addi t2, t2, -1
+    bnez t2, bitloop
+    addi a0, a0, 1
+    addi a1, a1, -1
+    j    byteloop
+done:
+    mv   a0, t0
+    ecall
+`
+
+// CRC16Program is the assembled CRC kernel.
+var CRC16Program = func() []uint32 {
+	words, _, err := Assemble(CRC16Source)
+	if err != nil {
+		panic(fmt.Sprintf("iss: CRC16 kernel does not assemble: %v", err))
+	}
+	return words
+}()
+
+// RunCRC16 executes the CRC kernel over data on a fresh CPU and returns
+// the CRC with the cycle cost.
+func RunCRC16(data []byte) (crc uint16, cycles uint64, err error) {
+	memSize := checksumDataBase + len(data) + 64
+	if memSize < 4096 {
+		memSize = 4096
+	}
+	cpu := New(memSize)
+	if err := cpu.LoadProgram(CRC16Program, 0); err != nil {
+		return 0, 0, err
+	}
+	copy(cpu.Mem[checksumDataBase:], data)
+	cpu.X[10] = checksumDataBase
+	cpu.X[11] = uint32(len(data))
+	halt, err := cpu.Run(1_000_000 + 256*uint64(len(data)))
+	if err != nil {
+		return 0, 0, err
+	}
+	if halt != HaltECall {
+		return 0, 0, fmt.Errorf("iss: CRC16 kernel halted with %v", halt)
+	}
+	return uint16(cpu.X[10]), cpu.Cycles, nil
+}
+
+// checksumDataBase is where the kernels place their input data,
+// comfortably above the kernel text.
+const checksumDataBase = 0x400
+
+// RunChecksum executes the checksum kernel over the given 16-bit words on
+// a fresh CPU and returns the checksum together with the cycle cost. This
+// is the entry point the virtual board's application calls: the returned
+// cycles are charged to the calling RTOS thread.
+func RunChecksum(words []uint16) (cks uint16, cycles uint64, err error) {
+	memSize := checksumDataBase + 2*len(words) + 64
+	if memSize < 4096 {
+		memSize = 4096
+	}
+	cpu := New(memSize)
+	if err := cpu.LoadProgram(ChecksumProgram, 0); err != nil {
+		return 0, 0, err
+	}
+	for i, w := range words {
+		if err := cpu.WriteHalf(uint32(checksumDataBase+2*i), w); err != nil {
+			return 0, 0, err
+		}
+	}
+	cpu.X[10] = checksumDataBase   // a0
+	cpu.X[11] = uint32(len(words)) // a1
+	halt, err := cpu.Run(100_000 + 64*uint64(len(words)))
+	if err != nil {
+		return 0, 0, err
+	}
+	if halt != HaltECall {
+		return 0, 0, fmt.Errorf("iss: checksum kernel halted with %v", halt)
+	}
+	return uint16(cpu.X[10]), cpu.Cycles, nil
+}

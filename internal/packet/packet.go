@@ -1,0 +1,201 @@
+// Package packet defines the router testbench's packet format, following
+// the paper's section 6: source address, destination address, an integer
+// packet identifier used for debugging, a data field, and a 16-bit
+// checksum used for error detection. Packets travel through the HDL model
+// whole (one packet per signal transaction) and are serialized to 32-bit
+// words when crossing the co-simulation DATA channel to the board.
+package packet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/checksum"
+)
+
+// MaxDataWords bounds the payload so a packet always fits the remote
+// device's packet window (see board/remote device register map).
+const MaxDataWords = 16
+
+// MulticastBit in the destination address marks a multicast packet: the
+// low bits of Dst are then a port bitmask rather than a consumer address.
+// This mirrors the multicast support of the SystemC example the paper's
+// testbench extends (the "Multicast Helix Packet Switch").
+const MulticastBit uint16 = 0x8000
+
+// HeaderWords is the number of 32-bit words occupied by the header when a
+// packet is serialized: word0 = src|dst, word1 = id, word2 = len|checksum.
+const HeaderWords = 3
+
+// Packet is one router packet.
+type Packet struct {
+	Src      uint16   // address of the producer
+	Dst      uint16   // address of the consumer the packet must reach
+	ID       uint32   // debugging identifier
+	Data     []uint32 // payload words
+	Checksum uint16   // 16-bit error-detection field over header+payload
+}
+
+// String implements fmt.Stringer for logs and failure messages.
+func (p Packet) String() string {
+	if p.IsMulticast() {
+		return fmt.Sprintf("pkt{id=%d %d→mask:%#x len=%d cks=%#04x}", p.ID, p.Src, p.PortMask(), len(p.Data), p.Checksum)
+	}
+	return fmt.Sprintf("pkt{id=%d %d→%d len=%d cks=%#04x}", p.ID, p.Src, p.Dst, len(p.Data), p.Checksum)
+}
+
+// IsMulticast reports whether Dst is a port bitmask.
+func (p Packet) IsMulticast() bool { return p.Dst&MulticastBit != 0 }
+
+// PortMask returns the multicast destination bitmask (meaningless for
+// unicast packets).
+func (p Packet) PortMask() uint16 { return p.Dst &^ MulticastBit }
+
+// checksumInput flattens the checksummed fields (everything except the
+// checksum itself) into 16-bit words.
+func (p Packet) checksumInput() []uint16 {
+	words := make([]uint16, 0, 4+2*len(p.Data))
+	words = append(words, p.Src, p.Dst, uint16(p.ID>>16), uint16(p.ID))
+	for _, d := range p.Data {
+		words = append(words, uint16(d>>16), uint16(d))
+	}
+	return words
+}
+
+// ComputeChecksum returns the correct checksum for the packet's current
+// contents.
+func (p Packet) ComputeChecksum() uint16 {
+	return checksum.InternetWords(p.checksumInput())
+}
+
+// Seal sets the checksum field from the packet contents and returns the
+// packet (value semantics, convenient in literals).
+func (p Packet) Seal() Packet {
+	p.Checksum = p.ComputeChecksum()
+	return p
+}
+
+// Valid reports whether the stored checksum matches the contents.
+func (p Packet) Valid() bool { return p.Checksum == p.ComputeChecksum() }
+
+// CorruptBit flips a single bit of the payload (or the header if the
+// payload is empty) without updating the checksum, producing a packet that
+// must fail verification. bit selects which bit to flip, modulo the packet
+// size.
+func (p Packet) CorruptBit(bit int) Packet {
+	data := make([]uint32, len(p.Data))
+	copy(data, p.Data)
+	p.Data = data
+	if len(p.Data) > 0 {
+		w := bit / 32 % len(p.Data)
+		p.Data[w] ^= 1 << (uint(bit) % 32)
+	} else {
+		p.ID ^= 1 << (uint(bit) % 32)
+	}
+	return p
+}
+
+// Words returns the number of 32-bit words the packet serializes to.
+func (p Packet) Words() int { return HeaderWords + len(p.Data) }
+
+// Encode serializes the packet to 32-bit words:
+//
+//	word0: src<<16 | dst
+//	word1: id
+//	word2: len(data)<<16 | checksum
+//	word3..: data
+func (p Packet) Encode() []uint32 {
+	out := make([]uint32, 0, p.Words())
+	out = append(out,
+		uint32(p.Src)<<16|uint32(p.Dst),
+		p.ID,
+		uint32(len(p.Data))<<16|uint32(p.Checksum),
+	)
+	return append(out, p.Data...)
+}
+
+// Decode parses a packet from words, returning the packet and the number
+// of words consumed.
+func Decode(words []uint32) (Packet, int, error) {
+	if len(words) < HeaderWords {
+		return Packet{}, 0, fmt.Errorf("packet: truncated header (%d words)", len(words))
+	}
+	n := int(words[2] >> 16)
+	if n > MaxDataWords {
+		return Packet{}, 0, fmt.Errorf("packet: payload length %d exceeds max %d", n, MaxDataWords)
+	}
+	if len(words) < HeaderWords+n {
+		return Packet{}, 0, fmt.Errorf("packet: truncated payload (have %d want %d words)", len(words)-HeaderWords, n)
+	}
+	p := Packet{
+		Src:      uint16(words[0] >> 16),
+		Dst:      uint16(words[0]),
+		ID:       words[1],
+		Checksum: uint16(words[2]),
+	}
+	if n > 0 {
+		p.Data = make([]uint32, n)
+		copy(p.Data, words[HeaderWords:HeaderWords+n])
+	}
+	return p, HeaderWords + n, nil
+}
+
+// Generator produces the testbench's random traffic: packets with random
+// destination addresses (paper section 6) and random payloads, optionally
+// corrupting a fraction of them to exercise the checksum-drop path, and
+// optionally emitting a fraction as multicast.
+type Generator struct {
+	rng       *rand.Rand
+	src       uint16
+	ports     int
+	dataWords int
+	errRate   float64 // fraction of packets emitted with a bad checksum
+	mcRate    float64 // fraction of packets emitted as multicast
+	nextID    uint32
+}
+
+// NewGenerator creates a deterministic traffic generator. src names the
+// producer; dst addresses are drawn uniformly from [0, ports); dataWords
+// is the payload size; errRate in [0,1] corrupts that fraction of packets.
+func NewGenerator(seed int64, src uint16, ports, dataWords int, errRate float64) *Generator {
+	if dataWords > MaxDataWords {
+		panic(fmt.Sprintf("packet: dataWords %d exceeds max %d", dataWords, MaxDataWords))
+	}
+	return &Generator{
+		rng:       rand.New(rand.NewSource(seed)),
+		src:       src,
+		ports:     ports,
+		dataWords: dataWords,
+		errRate:   errRate,
+	}
+}
+
+// SetMulticastRate makes the generator emit that fraction of its packets
+// as multicast with a random non-empty port mask.
+func (g *Generator) SetMulticastRate(rate float64) { g.mcRate = rate }
+
+// Next produces the next packet.
+func (g *Generator) Next() Packet {
+	p := Packet{
+		Src: g.src,
+		Dst: uint16(g.rng.Intn(g.ports)),
+		ID:  g.nextID,
+	}
+	if g.mcRate > 0 && g.rng.Float64() < g.mcRate {
+		mask := uint16(1 + g.rng.Intn(1<<g.ports-1)) // non-empty mask
+		p.Dst = MulticastBit | mask
+	}
+	g.nextID++
+	p.Data = make([]uint32, g.dataWords)
+	for i := range p.Data {
+		p.Data[i] = g.rng.Uint32()
+	}
+	p = p.Seal()
+	if g.errRate > 0 && g.rng.Float64() < g.errRate {
+		p = p.CorruptBit(g.rng.Intn(32 * (g.dataWords + 1)))
+	}
+	return p
+}
+
+// Generated returns how many packets have been produced.
+func (g *Generator) Generated() uint32 { return g.nextID }

@@ -1,0 +1,190 @@
+package packet
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := Packet{Src: 3, Dst: 1, ID: 0xdeadbeef, Data: []uint32{1, 2, 3, 4}}.Seal()
+	words := p.Encode()
+	if len(words) != p.Words() {
+		t.Fatalf("encoded to %d words, Words() says %d", len(words), p.Words())
+	}
+	q, n, err := Decode(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(words) {
+		t.Fatalf("consumed %d words, want %d", n, len(words))
+	}
+	if !reflect.DeepEqual(p, q) {
+		t.Fatalf("round trip: %+v != %+v", p, q)
+	}
+}
+
+func TestDecodeRoundTripProperty(t *testing.T) {
+	f := func(src, dst uint16, id uint32, raw []uint32) bool {
+		if len(raw) > MaxDataWords {
+			raw = raw[:MaxDataWords]
+		}
+		p := Packet{Src: src, Dst: dst, ID: id, Data: raw}.Seal()
+		if len(raw) == 0 {
+			p.Data = nil
+		}
+		q, n, err := Decode(p.Encode())
+		if err != nil || n != p.Words() {
+			return false
+		}
+		return reflect.DeepEqual(p, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode([]uint32{1, 2}); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	p := Packet{Data: []uint32{1, 2, 3}}.Seal()
+	words := p.Encode()
+	if _, _, err := Decode(words[:4]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	// Length field beyond MaxDataWords.
+	bad := []uint32{0, 0, uint32(MaxDataWords+1) << 16}
+	if _, _, err := Decode(bad); err == nil {
+		t.Fatal("oversized length accepted")
+	}
+}
+
+func TestSealValidCorrupt(t *testing.T) {
+	p := Packet{Src: 1, Dst: 2, ID: 7, Data: []uint32{0xaaaa5555}}.Seal()
+	if !p.Valid() {
+		t.Fatal("sealed packet invalid")
+	}
+	for bit := 0; bit < 64; bit += 7 {
+		c := p.CorruptBit(bit)
+		if c.Valid() {
+			t.Fatalf("corruption at bit %d undetected", bit)
+		}
+		if !p.Valid() {
+			t.Fatal("CorruptBit mutated the original packet")
+		}
+	}
+}
+
+func TestCorruptEmptyPayloadHitsHeader(t *testing.T) {
+	p := Packet{Src: 1, Dst: 2, ID: 7}.Seal()
+	c := p.CorruptBit(5)
+	if c.Valid() {
+		t.Fatal("header corruption undetected")
+	}
+	if c.ID == p.ID {
+		t.Fatal("CorruptBit on empty payload did not touch the ID")
+	}
+}
+
+func TestDecodeTrailingWordsIgnored(t *testing.T) {
+	p := Packet{Src: 9, Dst: 4, ID: 1, Data: []uint32{5}}.Seal()
+	words := append(p.Encode(), 0xffffffff, 0x12345678)
+	q, n, err := Decode(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != p.Words() {
+		t.Fatalf("consumed %d, want %d", n, p.Words())
+	}
+	if !q.Valid() {
+		t.Fatal("decode with trailing garbage corrupted packet")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1 := NewGenerator(7, 2, 4, 8, 0)
+	g2 := NewGenerator(7, 2, 4, 8, 0)
+	for i := 0; i < 50; i++ {
+		a, b := g1.Next(), g2.Next()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("packet %d differs across same-seed generators:\n%v\n%v", i, a, b)
+		}
+	}
+	if g1.Generated() != 50 {
+		t.Fatalf("Generated = %d, want 50", g1.Generated())
+	}
+}
+
+func TestGeneratorProperties(t *testing.T) {
+	g := NewGenerator(11, 1, 4, 6, 0)
+	seenDst := map[uint16]bool{}
+	for i := 0; i < 200; i++ {
+		p := g.Next()
+		if !p.Valid() {
+			t.Fatalf("errRate=0 produced invalid packet %v", p)
+		}
+		if p.Src != 1 {
+			t.Fatalf("src = %d, want 1", p.Src)
+		}
+		if int(p.Dst) >= 4 {
+			t.Fatalf("dst %d out of range", p.Dst)
+		}
+		if len(p.Data) != 6 {
+			t.Fatalf("payload %d words, want 6", len(p.Data))
+		}
+		if p.ID != uint32(i) {
+			t.Fatalf("ID %d, want sequential %d", p.ID, i)
+		}
+		seenDst[p.Dst] = true
+	}
+	if len(seenDst) != 4 {
+		t.Fatalf("200 random packets hit %d/4 destinations", len(seenDst))
+	}
+}
+
+func TestGeneratorErrorRate(t *testing.T) {
+	g := NewGenerator(13, 0, 4, 4, 0.3)
+	bad := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if !g.Next().Valid() {
+			bad++
+		}
+	}
+	if bad < n*20/100 || bad > n*40/100 {
+		t.Fatalf("errRate 0.3 produced %d/%d invalid packets", bad, n)
+	}
+}
+
+func TestGeneratorOversizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized dataWords accepted")
+		}
+	}()
+	NewGenerator(1, 0, 4, MaxDataWords+1, 0)
+}
+
+func TestPacketStringer(t *testing.T) {
+	p := Packet{Src: 1, Dst: 2, ID: 3, Data: []uint32{4}}.Seal()
+	if s := p.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := Packet{Src: 1, Dst: 2, ID: 3, Data: make([]uint32, 8)}
+	for i := range p.Data {
+		p.Data[i] = rng.Uint32()
+	}
+	p = p.Seal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(p.Encode()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package router
+
+import (
+	"math/bits"
+	"testing"
+
+	"repro/internal/packet"
+)
+
+func TestMulticastLoopback(t *testing.T) {
+	cfg := smallTB()
+	cfg.MulticastRate = 0.5
+	cfg.Seed = 31
+	res, err := RunLoopback(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Conservation != nil {
+		t.Fatal(res.Conservation)
+	}
+	rs := res.Router
+	if rs.Forwarded != res.Generated {
+		t.Fatalf("forwarded %d of %d", rs.Forwarded, res.Generated)
+	}
+	// Multicast fanout: copies exceed unique packets.
+	if rs.Delivered <= rs.Forwarded {
+		t.Fatalf("delivered %d copies of %d packets — no multicast fanout observed",
+			rs.Delivered, rs.Forwarded)
+	}
+	if res.Consumers.Received != rs.Delivered {
+		t.Fatalf("consumers saw %d, router delivered %d", res.Consumers.Received, rs.Delivered)
+	}
+	if res.Consumers.Misrouted != 0 || res.Consumers.IntegrityError != 0 {
+		t.Fatalf("consumer errors: %+v", res.Consumers)
+	}
+}
+
+func TestMulticastCopyCountMatchesMasks(t *testing.T) {
+	// Regenerate the same traffic stream and compute the expected copy
+	// count from the port masks directly.
+	cfg := smallTB()
+	cfg.MulticastRate = 0.7
+	cfg.Seed = 77
+	var expect uint64
+	for i := 0; i < cfg.Ports; i++ {
+		gen := packet.NewGenerator(cfg.Seed+int64(i), uint16(i), cfg.Ports, cfg.DataWords, cfg.ErrRate)
+		gen.SetMulticastRate(cfg.MulticastRate)
+		for n := 0; n < cfg.PacketsPerPort; n++ {
+			p := gen.Next()
+			if p.IsMulticast() {
+				expect += uint64(bits.OnesCount16(p.PortMask()))
+			} else {
+				expect++
+			}
+		}
+	}
+	res, err := RunLoopback(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Router.Delivered != expect {
+		t.Fatalf("delivered %d copies, masks predict %d", res.Router.Delivered, expect)
+	}
+}
+
+func TestMulticastThroughFullCoSim(t *testing.T) {
+	rc := DefaultRunConfig()
+	rc.TB = smallTB()
+	rc.TB.MulticastRate = 0.4
+	rc.TB.Seed = 5
+	rc.TSync = 250
+	res, err := RunCoSim(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Conservation != nil {
+		t.Fatal(res.Conservation)
+	}
+	if res.Accuracy != 1.0 {
+		t.Fatalf("accuracy %.3f with tight coupling (router %+v)", res.Accuracy, res.Router)
+	}
+	if res.Router.Delivered <= res.Router.Forwarded {
+		t.Fatal("no multicast copies through the co-simulated path")
+	}
+	if res.Consumers.Misrouted != 0 {
+		t.Fatalf("misroutes: %+v", res.Consumers)
+	}
+}
+
+func TestMulticastPacketHelpers(t *testing.T) {
+	u := packet.Packet{Dst: 3}
+	if u.IsMulticast() {
+		t.Fatal("unicast flagged multicast")
+	}
+	m := packet.Packet{Dst: packet.MulticastBit | 0b1010}
+	if !m.IsMulticast() || m.PortMask() != 0b1010 {
+		t.Fatalf("multicast helpers: %v %#x", m.IsMulticast(), m.PortMask())
+	}
+	// The checksum covers the full Dst including the multicast bit.
+	sealed := m.Seal()
+	corrupt := sealed
+	corrupt.Dst &^= packet.MulticastBit
+	if corrupt.Valid() {
+		t.Fatal("clearing the multicast bit went undetected")
+	}
+}

@@ -1,0 +1,89 @@
+package router
+
+import "testing"
+
+func TestMultiBoardCoSimSplitsLoad(t *testing.T) {
+	rc := DefaultRunConfig()
+	rc.TB = smallTB()
+	rc.TSync = 200
+	res, err := RunCoSimMulti(rc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Conservation != nil {
+		t.Fatal(res.Conservation)
+	}
+	if res.Accuracy != 1.0 {
+		t.Fatalf("dual-board accuracy %.3f (router %+v)", res.Accuracy, res.Router)
+	}
+	if len(res.Apps) != 2 {
+		t.Fatalf("%d app stats", len(res.Apps))
+	}
+	total := res.Apps[0].Delivered + res.Apps[1].Delivered
+	if total != res.Generated {
+		t.Fatalf("boards delivered %d of %d", total, res.Generated)
+	}
+	// Round-robin assignment: the split is even.
+	if res.Apps[0].Delivered != res.Apps[1].Delivered {
+		t.Fatalf("uneven split: %d vs %d", res.Apps[0].Delivered, res.Apps[1].Delivered)
+	}
+	// Both boards advanced the same virtual time (same grants).
+	if res.BoardCycles[0] != res.BoardCycles[1] || res.BoardCycles[0] == 0 {
+		t.Fatalf("board times %v", res.BoardCycles)
+	}
+}
+
+func TestMultiBoardMatchesSingleBoardAccuracy(t *testing.T) {
+	// With verification load halved per board, the dual-board setup must
+	// be at least as accurate as single-board at the same Tsync.
+	mk := func(boards int, tsync uint64) float64 {
+		rc := DefaultRunConfig()
+		rc.TSync = tsync
+		var acc float64
+		if boards == 1 {
+			res, err := RunCoSim(rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc = res.Accuracy
+		} else {
+			res, err := RunCoSimMulti(rc, boards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc = res.Accuracy
+		}
+		return acc
+	}
+	for _, ts := range []uint64{2000, 8000} {
+		single := mk(1, ts)
+		dual := mk(2, ts)
+		if dual < single-0.01 {
+			t.Fatalf("Tsync=%d: dual-board accuracy %.3f below single %.3f", ts, dual, single)
+		}
+	}
+}
+
+func TestMultiBoardOneBoardDegeneratesToSingle(t *testing.T) {
+	rc := DefaultRunConfig()
+	rc.TB = smallTB()
+	rc.TSync = 300
+	single, err := RunCoSim(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := RunCoSimMulti(rc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Router != multi.Router {
+		t.Fatalf("1-board multi differs from single:\n%+v\n%+v", single.Router, multi.Router)
+	}
+}
+
+func TestMultiBoardValidation(t *testing.T) {
+	rc := DefaultRunConfig()
+	if _, err := RunCoSimMulti(rc, 0); err == nil {
+		t.Fatal("0 boards accepted")
+	}
+}

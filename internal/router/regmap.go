@@ -1,0 +1,66 @@
+// Package router implements the paper's evaluation testbench (section 6):
+// a 4-port packet router modelled in the HDL simulation kernel — an
+// extension of the SystemC "Multicast Helix Packet Switch" example — with
+// packet producers and consumers, plus the checksum application that runs
+// on the (virtual) board under the RTOS and validates every packet through
+// the remote device driver.
+//
+// Dataflow per packet:
+//
+//	producer ─▶ router input FIFO ─▶ posted to board RX ring + IRQ
+//	     board DSR ─▶ app mailbox ─▶ ISS checksum ─▶ verdict write
+//	router driver_process ─▶ forward to output port ─▶ consumer
+//	                         └─ drop (bad checksum)
+//
+// A packet occupies its input FIFO slot until its verdict returns, so the
+// sustained FIFO occupancy grows with the synchronization interval; when
+// it exceeds the FIFO capacity, newly arriving packets are dropped — the
+// mechanism behind the paper's accuracy-vs-T_sync cliff (Fig. 7).
+package router
+
+// Register map of the remote checksum device, shared between the HDL
+// router model (driver_in/driver_out ports) and the board application
+// (remote device driver window). All values are *word offsets within one
+// engine window*; a router can host several checksum engines (one per
+// board), each occupying its own window of EngineStride words.
+const (
+	// Board→router verdict block (router's driver_in).
+	RegVerdictBase = 0x000 // word 0: packet sequence number
+	RegVerdictOK   = 0x001 // word 1: 1 = checksum valid, 0 = corrupt
+	VerdictWords   = 2
+
+	// Router→board window (router's driver_out): a sequence register and
+	// a ring of RX slots.
+	RegRxSeq = 0x010 // sequence number of the newest posted packet
+
+	SlotBase = 0x012 // first RX slot
+	// SlotWords is one slot's size: a word-count header plus the largest
+	// encoded packet (3 header + 16 payload words).
+	SlotWords = 20
+	// NumSlots is the RX ring depth: the board must drain a packet within
+	// NumSlots subsequent deliveries or it is overwritten (an overrun,
+	// counted board-side).
+	NumSlots = 32
+
+	// WindowSize covers one engine's device register space.
+	WindowSize = SlotBase + NumSlots*SlotWords
+
+	// EngineStride separates consecutive engine windows.
+	EngineStride = 0x400
+
+	// IRQPacket is the interrupt line engine 0 raises per delivered
+	// packet; engine e uses IRQPacket+e.
+	IRQPacket = 5
+)
+
+// EngineBase returns the first word address of engine e's window.
+func EngineBase(e int) uint32 { return uint32(e) * EngineStride }
+
+// EngineIRQ returns the interrupt line of engine e.
+func EngineIRQ(e int) uint8 { return uint8(IRQPacket + e) }
+
+// SlotAddr returns the word offset (within an engine window) of the RX
+// slot used by sequence number seq (sequence numbers start at 1).
+func SlotAddr(seq uint32) uint32 {
+	return SlotBase + (seq%NumSlots)*SlotWords
+}

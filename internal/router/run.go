@@ -1,0 +1,205 @@
+package router
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/cosim"
+	"repro/internal/hdlsim"
+)
+
+// TransportKind selects how the two sides of a co-simulation run talk.
+type TransportKind int
+
+const (
+	// TransportInProc uses in-process channels (fast, deterministic
+	// wall-clock; identical simulated-time results to TCP).
+	TransportInProc TransportKind = iota
+	// TransportTCP uses real sockets over loopback, as in the paper's
+	// host↔board setup.
+	TransportTCP
+)
+
+// String implements fmt.Stringer.
+func (t TransportKind) String() string {
+	if t == TransportTCP {
+		return "tcp"
+	}
+	return "inproc"
+}
+
+// RunConfig configures one full co-simulation of the router testbench.
+type RunConfig struct {
+	TB        TBConfig
+	TSync     uint64
+	Mode      cosim.SyncMode
+	Transport TransportKind
+	BoardCfg  board.Config
+	AppCfg    AppConfig
+	// MaxCycles bounds the run; 0 derives a budget from the workload.
+	MaxCycles uint64
+	// LinkDelay adds a wall-clock latency per message in each direction,
+	// emulating the paper's host↔board Ethernet (see cosim.DelayTransport).
+	LinkDelay time.Duration
+}
+
+// DefaultRunConfig assembles the experiment defaults.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		TB:        DefaultTBConfig(),
+		TSync:     1000,
+		Mode:      cosim.SyncAlternating,
+		Transport: TransportInProc,
+		BoardCfg:  board.DefaultConfig(),
+		AppCfg:    DefaultAppConfig(),
+	}
+}
+
+// budget returns the cycle bound for the run.
+func (rc RunConfig) budget() uint64 {
+	if rc.MaxCycles != 0 {
+		return rc.MaxCycles
+	}
+	return rc.TB.WorkCycles() + 8*rc.TSync + 20000
+}
+
+// RunResult collects every counter of one co-simulation run.
+type RunResult struct {
+	HW        hdlsim.DriverStats
+	Router    Stats
+	Consumers ConsumerStats
+	App       AppStats
+	Board     board.Stats
+	Link      cosim.Metrics
+
+	Generated     uint64
+	Accuracy      float64 // forwarded / generated
+	Wall          time.Duration
+	BoardCycles   uint64
+	BoardSWTicks  uint64
+	SimCycles     uint64
+	Conservation  error // non-nil if the accounting invariant failed
+	TSync         uint64
+	TransportKind TransportKind
+	Mode          cosim.SyncMode
+}
+
+// String formats the headline numbers.
+func (r RunResult) String() string {
+	return fmt.Sprintf("Tsync=%d %s/%s: N=%d acc=%.1f%% wall=%v syncs=%d",
+		r.TSync, r.TransportKind, r.Mode, r.Generated, 100*r.Accuracy, r.Wall, r.HW.SyncEvents)
+}
+
+// RunCoSim executes the full paper testbench: the HDL side under
+// DriverSimulate on the calling goroutine, the virtual board on a second
+// goroutine, linked by the chosen transport. It returns when the workload
+// is injected and drained (or the cycle budget runs out).
+func RunCoSim(rc RunConfig) (RunResult, error) {
+	res := RunResult{TSync: rc.TSync, TransportKind: rc.Transport, Mode: rc.Mode}
+	tb := BuildTestbench(rc.TB)
+	bs, err := BuildBoardSide(rc.BoardCfg, rc.AppCfg)
+	if err != nil {
+		return res, err
+	}
+
+	var hwT, boardT cosim.Transport
+	switch rc.Transport {
+	case TransportTCP:
+		ln, err := cosim.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			return res, err
+		}
+		defer ln.Close()
+		acc := make(chan error, 1)
+		go func() {
+			var aerr error
+			hwT, aerr = ln.Accept()
+			acc <- aerr
+		}()
+		boardT, err = cosim.DialTCP(ln.Addr())
+		if err != nil {
+			return res, err
+		}
+		if err := <-acc; err != nil {
+			return res, err
+		}
+	default:
+		hwT, boardT = cosim.NewInProcPair(4096)
+	}
+	defer hwT.Close()
+	defer boardT.Close()
+	if rc.LinkDelay > 0 {
+		hwT = cosim.NewDelayTransport(hwT, rc.LinkDelay)
+		boardT = cosim.NewDelayTransport(boardT, rc.LinkDelay)
+	}
+
+	hw := cosim.NewHWEndpoint(hwT, rc.Mode)
+	bep := cosim.NewBoardEndpoint(boardT)
+	bs.Dev.Attach(bep)
+
+	boardDone := make(chan error, 1)
+	go func() { boardDone <- bs.Board.Run(bep) }()
+
+	start := time.Now()
+	hwStats, err := tb.Sim.DriverSimulate(tb.Clk, hw, hdlsim.DriverConfig{
+		TSync:       rc.TSync,
+		TotalCycles: rc.budget(),
+		StopEarly:   tb.Finished,
+	})
+	res.Wall = time.Since(start)
+	if err != nil {
+		hwT.Close()
+		<-boardDone
+		return res, fmt.Errorf("router: hw side: %w", err)
+	}
+	if err := <-boardDone; err != nil {
+		return res, fmt.Errorf("router: board side: %w", err)
+	}
+
+	res.HW = hwStats
+	res.Router = tb.Router.Stats()
+	res.Consumers = tb.ConsumerTotals()
+	res.App = bs.App.Stats()
+	res.Board = bs.Board.Stats()
+	res.Link = *hw.Metrics()
+	res.Generated = tb.Generated()
+	res.SimCycles = hwStats.Cycles
+	res.BoardCycles, res.BoardSWTicks = hw.BoardTime()
+	if res.Generated > 0 {
+		res.Accuracy = float64(res.Router.Forwarded) / float64(res.Generated)
+	}
+	res.Conservation = tb.CheckConservation(res.App.Overruns, res.App.MboxDrops)
+	return res, nil
+}
+
+// RunLoopback executes the same HDL workload against the instant local
+// verifier — the paper's "simulation without synchronization" normalizer.
+func RunLoopback(tbc TBConfig) (RunResult, error) {
+	res := RunResult{TSync: 0, TransportKind: TransportInProc}
+	tb := BuildTestbench(tbc)
+	ep := NewLoopbackEndpoint()
+	budget := tbc.WorkCycles() + 20000
+	start := time.Now()
+	hwStats, err := tb.Sim.DriverSimulate(tb.Clk, ep, hdlsim.DriverConfig{
+		// Sync is free on the loopback; a moderate interval just gives
+		// StopEarly a chance to end the run at quiescence.
+		TSync:       1000,
+		TotalCycles: budget,
+		StopEarly:   tb.Finished,
+	})
+	res.Wall = time.Since(start)
+	if err != nil {
+		return res, err
+	}
+	res.HW = hwStats
+	res.Router = tb.Router.Stats()
+	res.Consumers = tb.ConsumerTotals()
+	res.Generated = tb.Generated()
+	res.SimCycles = hwStats.Cycles
+	if res.Generated > 0 {
+		res.Accuracy = float64(res.Router.Forwarded) / float64(res.Generated)
+	}
+	res.Conservation = tb.CheckConservation(0, 0)
+	return res, nil
+}

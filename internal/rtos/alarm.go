@@ -1,0 +1,59 @@
+package rtos
+
+import "container/heap"
+
+// alarm is one pending SW-tick-scheduled callback.
+type alarm struct {
+	at  uint64 // absolute SW tick
+	seq uint64
+	fn  func()
+}
+
+type alarmHeap []*alarm
+
+func (h alarmHeap) Len() int { return len(h) }
+func (h alarmHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h alarmHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *alarmHeap) Push(x any)   { *h = append(*h, x.(*alarm)) }
+func (h *alarmHeap) Pop() any {
+	old := *h
+	n := len(old)
+	a := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return a
+}
+
+// alarmQueue is the kernel's alarm list, keyed by absolute SW tick, with
+// FIFO ordering among alarms for the same tick (deterministic expiry).
+type alarmQueue struct {
+	h   alarmHeap
+	seq uint64
+}
+
+func (q *alarmQueue) add(atTick uint64, fn func()) {
+	heap.Push(&q.h, &alarm{at: atTick, seq: q.seq, fn: fn})
+	q.seq++
+}
+
+func (q *alarmQueue) len() int { return len(q.h) }
+
+// expire runs every alarm due at or before tick. Alarm callbacks run in
+// timer-ISR context: they may ready threads but must not block.
+func (q *alarmQueue) expire(k *Kernel, tick uint64) {
+	for len(q.h) > 0 && q.h[0].at <= tick {
+		a := heap.Pop(&q.h).(*alarm)
+		a.fn()
+	}
+}
+
+// AlarmAfter schedules fn to run in timer context after n SW ticks; the
+// public form used by board services and tests.
+func (k *Kernel) AlarmAfter(n uint64, fn func()) {
+	k.alarms.add(k.swTick+n, fn)
+}

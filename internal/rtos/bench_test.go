@@ -1,0 +1,72 @@
+package rtos
+
+import "testing"
+
+// BenchmarkAdvanceIdle measures the cost of pure virtual-time advance with
+// nothing runnable — the floor every co-simulation quantum pays.
+func BenchmarkAdvanceIdle(b *testing.B) {
+	k := NewKernel(DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Advance(1000) // 10 ticks
+	}
+	b.ReportMetric(float64(k.Cycles())/float64(b.N), "cycles/op")
+}
+
+// BenchmarkAdvanceBusyThread measures a quantum spent charging one thread.
+func BenchmarkAdvanceBusyThread(b *testing.B) {
+	k := NewKernel(DefaultConfig())
+	k.CreateThread("spin", 10, func(c *ThreadCtx) {
+		for {
+			c.Charge(1000)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Advance(1000)
+	}
+	b.StopTimer()
+	k.Shutdown()
+}
+
+// BenchmarkContextSwitchPingPong measures mailbox handoff between two
+// threads: the kernel's rendezvous fast path.
+func BenchmarkContextSwitchPingPong(b *testing.B) {
+	k := NewKernel(DefaultConfig())
+	ping := k.NewMailbox("ping", 1)
+	pong := k.NewMailbox("pong", 1)
+	k.CreateThread("a", 10, func(c *ThreadCtx) {
+		for {
+			ping.Put(c, []uint32{1})
+			pong.Get(c)
+		}
+	})
+	k.CreateThread("b", 10, func(c *ThreadCtx) {
+		for {
+			ping.Get(c)
+			c.Charge(10)
+			pong.Put(c, []uint32{2})
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Advance(1000)
+	}
+	b.StopTimer()
+	k.Shutdown()
+}
+
+// BenchmarkInterruptDispatch measures the ISR+DSR path.
+func BenchmarkInterruptDispatch(b *testing.B) {
+	k := NewKernel(DefaultConfig())
+	served := 0
+	k.AttachInterrupt(1, nil, func() { served++ })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.PostIRQ(1)
+		k.Advance(100)
+	}
+	if served != b.N {
+		b.Fatalf("served %d of %d", served, b.N)
+	}
+}

@@ -1,0 +1,39 @@
+package rtos
+
+import (
+	"fmt"
+	"io"
+)
+
+// Describe writes a snapshot of the kernel — time counters, OS state, and
+// every thread with its priority, state and consumed cycles — the
+// equivalent of a shell's `ps` on the virtual board.
+func (k *Kernel) Describe(w io.Writer) error {
+	st := k.stats
+	if _, err := fmt.Fprintf(w, "kernel: %d cycles, hwTick=%d swTick=%d, state=%v\n",
+		k.cycles, k.hwTick, k.swTick, k.state); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  busy=%d idle=%d kernel=%d cycles; ctxsw=%d isr=%d dsr=%d stateSwitches=%d\n",
+		st.BusyCycles, st.IdleCycles, st.KernelCycles,
+		st.ContextSwitches, st.ISRs, st.DSRs, st.StateSwitches)
+	fmt.Fprintf(w, "threads (%d):\n", len(k.threads))
+	for _, t := range k.threads {
+		comm := ""
+		if t.comm {
+			comm = " comm"
+		}
+		cur := ""
+		if t == k.lastRun {
+			cur = " *"
+		}
+		fmt.Fprintf(w, "  %-24s prio=%-2d %-9s cycles=%-10d slice=%d%s%s\n",
+			t.name, t.prio, t.state, t.cyclesUsed, t.slice, comm, cur)
+	}
+	fmt.Fprintf(w, "drivers (%d):", len(k.drivers))
+	for name := range k.drivers {
+		fmt.Fprintf(w, " %s", name)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

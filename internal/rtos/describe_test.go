@@ -1,0 +1,42 @@
+package rtos
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDescribeListsThreads(t *testing.T) {
+	k := NewKernel(testCfg())
+	k.CreateThread("app", 10, func(c *ThreadCtx) {
+		c.Charge(500)
+		k.NewSemaphore("park", 0).Wait(c)
+	})
+	k.CreateThread("chan", 25, func(c *ThreadCtx) {
+		for {
+			c.Charge(10)
+			c.Yield()
+		}
+	}, Comm())
+	if err := k.RegisterDriver(&stubDriver{name: "/dev/x"}); err != nil {
+		t.Fatal(err)
+	}
+	k.Advance(2000)
+	var buf bytes.Buffer
+	if err := k.Describe(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"state=idle",
+		"app", "blocked",
+		"chan", "comm",
+		"/dev/x",
+		"threads (2):",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Describe missing %q:\n%s", want, out)
+		}
+	}
+	k.Shutdown()
+}

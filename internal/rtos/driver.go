@@ -1,0 +1,53 @@
+package rtos
+
+import "fmt"
+
+// Driver is the kernel's device-driver interface, modelled on the eCos
+// char-device I/O layer: a driver is initialized at boot, exposes
+// word-granular read/write entry points, and services its device's
+// interrupt through the ISR/DSR pair it attached.
+//
+// The paper's key OS modification (section 5.3) is "to write a new device
+// driver" through which the application reaches the *simulated* device;
+// package board provides that driver (the remote device driver), which
+// registers here like any physical device's.
+type Driver interface {
+	// Name returns the device name used for Lookup, e.g. "/dev/router".
+	Name() string
+	// Init is called once at boot (before the first Advance).
+	Init(k *Kernel) error
+	// Read fills buf starting at the device-relative word offset and
+	// returns the number of words read.
+	Read(c *ThreadCtx, off uint32, buf []uint32) (int, error)
+	// Write stores buf at the device-relative word offset and returns the
+	// number of words written.
+	Write(c *ThreadCtx, off uint32, buf []uint32) (int, error)
+}
+
+// RegisterDriver installs a driver in the kernel's device table and runs
+// its Init hook, as happens at system boot.
+func (k *Kernel) RegisterDriver(d Driver) error {
+	if k.started {
+		return fmt.Errorf("rtos: RegisterDriver(%q) after first Advance", d.Name())
+	}
+	if _, dup := k.drivers[d.Name()]; dup {
+		return fmt.Errorf("rtos: driver %q already registered", d.Name())
+	}
+	if err := d.Init(k); err != nil {
+		return fmt.Errorf("rtos: init of driver %q: %w", d.Name(), err)
+	}
+	k.drivers[d.Name()] = d
+	return nil
+}
+
+// Lookup returns the driver registered under name.
+func (k *Kernel) Lookup(name string) (Driver, error) {
+	d, ok := k.drivers[name]
+	if !ok {
+		return nil, fmt.Errorf("rtos: no driver %q", name)
+	}
+	return d, nil
+}
+
+// Drivers returns the number of registered drivers.
+func (k *Kernel) Drivers() int { return len(k.drivers) }

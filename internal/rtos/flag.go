@@ -1,0 +1,77 @@
+package rtos
+
+// Flag is an event-flag group, the eCos cyg_flag equivalent: a 32-bit mask
+// threads can wait on with AND/OR semantics. Device DSRs set bits; service
+// threads wait for combinations.
+type Flag struct {
+	k    *Kernel
+	name string
+	bits uint32
+	wq   waitQueue
+
+	// waiters' conditions, keyed by thread, checked on every Set.
+	conds map[*Thread]flagCond
+}
+
+type flagCond struct {
+	mask  uint32
+	all   bool
+	clear bool
+}
+
+// NewFlag creates an empty flag group.
+func (k *Kernel) NewFlag(name string) *Flag {
+	return &Flag{k: k, name: name, conds: make(map[*Thread]flagCond)}
+}
+
+// Peek returns the current bits without blocking.
+func (f *Flag) Peek() uint32 { return f.bits }
+
+// Set ORs bits into the group and wakes every waiter whose condition now
+// holds. Safe from DSR context.
+func (f *Flag) Set(bits uint32) {
+	f.bits |= bits
+	// Wake satisfied waiters; iterate over a copy since wakes mutate.
+	for th, cond := range f.conds {
+		if f.satisfied(cond) {
+			delete(f.conds, th)
+			if th.state == ThreadBlocked && f.wq.remove(th) {
+				f.k.ready(th)
+			}
+		}
+	}
+}
+
+// Clear ANDs-NOT bits out of the group.
+func (f *Flag) Clear(bits uint32) { f.bits &^= bits }
+
+func (f *Flag) satisfied(c flagCond) bool {
+	if c.all {
+		return f.bits&c.mask == c.mask
+	}
+	return f.bits&c.mask != 0
+}
+
+// WaitAny blocks until any bit of mask is set; returns the bits observed.
+// If clear is true the observed mask bits are cleared atomically on wake
+// (consume semantics).
+func (f *Flag) WaitAny(c *ThreadCtx, mask uint32, clear bool) uint32 {
+	return f.wait(c, flagCond{mask: mask, all: false, clear: clear})
+}
+
+// WaitAll blocks until every bit of mask is set.
+func (f *Flag) WaitAll(c *ThreadCtx, mask uint32, clear bool) uint32 {
+	return f.wait(c, flagCond{mask: mask, all: true, clear: clear})
+}
+
+func (f *Flag) wait(c *ThreadCtx, cond flagCond) uint32 {
+	for !f.satisfied(cond) {
+		f.conds[c.t] = cond
+		c.block(&f.wq)
+	}
+	got := f.bits & cond.mask
+	if cond.clear {
+		f.bits &^= cond.mask
+	}
+	return got
+}

@@ -1,0 +1,99 @@
+package rtos
+
+import "testing"
+
+func TestFlagWaitAnyAndConsume(t *testing.T) {
+	k := NewKernel(testCfg())
+	f := k.NewFlag("ev")
+	var got []uint32
+	k.CreateThread("waiter", 5, func(c *ThreadCtx) {
+		got = append(got, f.WaitAny(c, 0x0f, true))
+		got = append(got, f.WaitAny(c, 0x0f, true))
+		c.Exit()
+	})
+	k.AlarmAfter(2, func() { f.Set(0x05) })
+	k.AlarmAfter(4, func() { f.Set(0x02) })
+	k.Advance(1000)
+	if len(got) != 2 || got[0] != 0x05 || got[1] != 0x02 {
+		t.Fatalf("observed %#v, want [0x05 0x02]", got)
+	}
+	if f.Peek() != 0 {
+		t.Fatalf("consume semantics left bits %#x", f.Peek())
+	}
+}
+
+func TestFlagWaitAllBlocksUntilComplete(t *testing.T) {
+	k := NewKernel(testCfg())
+	f := k.NewFlag("ev")
+	done := false
+	k.CreateThread("waiter", 5, func(c *ThreadCtx) {
+		f.WaitAll(c, 0x3, false)
+		done = true
+		c.Exit()
+	})
+	k.AlarmAfter(1, func() { f.Set(0x1) })
+	k.Advance(500)
+	if done {
+		t.Fatal("WaitAll returned with only one bit set")
+	}
+	f.Set(0x2)
+	k.Advance(500)
+	if !done {
+		t.Fatal("WaitAll never returned")
+	}
+	if f.Peek() != 0x3 {
+		t.Fatalf("non-consuming wait cleared bits: %#x", f.Peek())
+	}
+}
+
+func TestFlagAlreadySatisfiedDoesNotBlock(t *testing.T) {
+	k := NewKernel(testCfg())
+	f := k.NewFlag("ev")
+	f.Set(0xf0)
+	var got uint32
+	k.CreateThread("w", 5, func(c *ThreadCtx) {
+		got = f.WaitAny(c, 0xff, false)
+		c.Exit()
+	})
+	k.Advance(200)
+	if got != 0xf0 {
+		t.Fatalf("got %#x", got)
+	}
+}
+
+func TestFlagClear(t *testing.T) {
+	k := NewKernel(testCfg())
+	f := k.NewFlag("ev")
+	f.Set(0xff)
+	f.Clear(0x0f)
+	if f.Peek() != 0xf0 {
+		t.Fatalf("Clear left %#x", f.Peek())
+	}
+}
+
+func TestFlagMultipleWaitersSelectiveWake(t *testing.T) {
+	k := NewKernel(testCfg())
+	f := k.NewFlag("ev")
+	var woke []string
+	mk := func(name string, mask uint32) {
+		k.CreateThread(name, 5, func(c *ThreadCtx) {
+			f.WaitAny(c, mask, true)
+			woke = append(woke, name)
+			c.Exit()
+		})
+	}
+	mk("a", 0x1)
+	mk("b", 0x2)
+	k.Advance(200) // both blocked
+	f.Set(0x2)     // only b's condition holds
+	k.Advance(200)
+	if len(woke) != 1 || woke[0] != "b" {
+		t.Fatalf("woke %v, want only b", woke)
+	}
+	f.Set(0x1)
+	k.Advance(200)
+	if len(woke) != 2 {
+		t.Fatalf("woke %v, want a too", woke)
+	}
+	k.Shutdown()
+}

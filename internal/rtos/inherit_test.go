@@ -1,0 +1,105 @@
+package rtos
+
+import "testing"
+
+// priorityInversionScenario builds the classic three-thread setup:
+// low acquires the lock, high then needs it, medium runs CPU-bound in
+// between. Returns the completion order.
+func priorityInversionScenario(t *testing.T, pi bool) []string {
+	t.Helper()
+	cfg := testCfg()
+	cfg.TimesliceTicks = 0
+	k := NewKernel(cfg)
+	var mu *Mutex
+	if pi {
+		mu = k.NewMutexPI("m")
+	} else {
+		mu = k.NewMutex("m")
+	}
+	var order []string
+
+	// Low starts first (phase 0), grabs the lock, then computes a while.
+	low := k.CreateThread("low", 20, func(c *ThreadCtx) {
+		mu.Lock(c)
+		c.Charge(3000) // long critical section
+		mu.Unlock(c)
+		order = append(order, "low")
+		c.Exit()
+	})
+	_ = low
+	// High wakes shortly after and contends for the lock.
+	k.CreateThread("high", 2, func(c *ThreadCtx) {
+		c.Sleep(2) // let low grab the lock
+		mu.Lock(c)
+		mu.Unlock(c)
+		order = append(order, "high")
+		c.Exit()
+	})
+	// Medium wakes at the same time as high and is pure CPU: without
+	// inheritance it preempts low (priority 10 < 20) and starves the
+	// critical section, delaying high.
+	k.CreateThread("medium", 10, func(c *ThreadCtx) {
+		c.Sleep(2)
+		c.Charge(20000)
+		order = append(order, "medium")
+		c.Exit()
+	})
+	k.Advance(1_000_000)
+	if len(order) != 3 {
+		t.Fatalf("only %d threads completed: %v", len(order), order)
+	}
+	return order
+}
+
+func TestPriorityInversionWithoutInheritance(t *testing.T) {
+	order := priorityInversionScenario(t, false)
+	// The inversion: medium finishes before high even though high
+	// outranks it, because low (holding the lock) cannot run.
+	if order[0] != "medium" {
+		t.Fatalf("expected the inversion (medium first), got %v", order)
+	}
+}
+
+func TestPriorityInheritanceBreaksInversion(t *testing.T) {
+	order := priorityInversionScenario(t, true)
+	// With inheritance, low is boosted to high's priority, finishes the
+	// critical section, high takes the lock — both before medium's long
+	// compute completes.
+	if order[len(order)-1] != "medium" {
+		t.Fatalf("inheritance failed to break the inversion: %v", order)
+	}
+	if order[0] != "high" && order[1] != "high" {
+		t.Fatalf("high did not finish promptly: %v", order)
+	}
+}
+
+func TestInheritanceRestoresPriority(t *testing.T) {
+	cfg := testCfg()
+	cfg.TimesliceTicks = 0
+	k := NewKernel(cfg)
+	mu := k.NewMutexPI("m")
+	var lowPrioDuring, lowPrioAfter int
+	low := k.CreateThread("low", 20, func(c *ThreadCtx) {
+		mu.Lock(c)
+		c.Charge(1000)
+		lowPrioDuring = c.Thread().Priority()
+		mu.Unlock(c)
+		c.Charge(10)
+		lowPrioAfter = c.Thread().Priority()
+		c.Exit()
+	})
+	_ = low
+	k.CreateThread("high", 2, func(c *ThreadCtx) {
+		c.Sleep(1)
+		mu.Lock(c)
+		mu.Unlock(c)
+		c.Exit()
+	})
+	k.Advance(1_000_000)
+	if lowPrioDuring != 2 {
+		t.Fatalf("owner priority during contention = %d, want boosted 2", lowPrioDuring)
+	}
+	if lowPrioAfter != 20 {
+		t.Fatalf("owner priority after unlock = %d, want restored 20", lowPrioAfter)
+	}
+}

@@ -1,0 +1,113 @@
+package rtos
+
+import "fmt"
+
+// NumIRQs is the size of the board's interrupt vector.
+const NumIRQs = 32
+
+// irqLine is one interrupt vector entry with eCos's ISR/DSR split: the ISR
+// runs with interrupts effectively masked and decides whether to schedule
+// the DSR; the DSR runs afterwards and may use kernel services (waking
+// threads, posting to mailboxes).
+type irqLine struct {
+	num       int
+	attached  bool
+	enabled   bool
+	pending   bool
+	dsrQueued bool
+	isr       func() bool // return true to request the DSR
+	dsr       func()
+}
+
+type interruptController struct {
+	lines [NumIRQs]irqLine
+	dsrq  []*irqLine
+}
+
+func (ic *interruptController) init() {
+	for i := range ic.lines {
+		ic.lines[i].num = i
+	}
+}
+
+func (ic *interruptController) pendingEnabled() bool {
+	for i := range ic.lines {
+		l := &ic.lines[i]
+		if l.pending && l.enabled {
+			return true
+		}
+	}
+	return false
+}
+
+// nextPending claims the lowest-numbered pending+enabled line (hardware
+// priority by vector number) and clears its pending latch.
+func (ic *interruptController) nextPending() *irqLine {
+	for i := range ic.lines {
+		l := &ic.lines[i]
+		if l.pending && l.enabled {
+			l.pending = false
+			return l
+		}
+	}
+	return nil
+}
+
+func (ic *interruptController) queueDSR(l *irqLine) {
+	if l.dsrQueued {
+		return
+	}
+	l.dsrQueued = true
+	ic.dsrq = append(ic.dsrq, l)
+}
+
+func (ic *interruptController) nextDSR() *irqLine {
+	if len(ic.dsrq) == 0 {
+		return nil
+	}
+	l := ic.dsrq[0]
+	ic.dsrq = ic.dsrq[1:]
+	l.dsrQueued = false
+	return l
+}
+
+// AttachInterrupt installs the ISR/DSR pair for a vector and enables it.
+// The ISR returns true to request DSR execution (eCos CYG_ISR_CALL_DSR).
+// Either handler may be nil: a nil ISR defaults to requesting the DSR; a
+// nil DSR is simply skipped.
+func (k *Kernel) AttachInterrupt(irq int, isr func() bool, dsr func()) {
+	if irq < 0 || irq >= NumIRQs {
+		panic(fmt.Sprintf("rtos: IRQ %d out of range", irq))
+	}
+	l := &k.irq.lines[irq]
+	if l.attached {
+		panic(fmt.Sprintf("rtos: IRQ %d already attached", irq))
+	}
+	l.attached = true
+	l.enabled = true
+	l.isr = isr
+	l.dsr = dsr
+}
+
+// MaskInterrupt disables delivery for a vector (pending requests are held).
+func (k *Kernel) MaskInterrupt(irq int) { k.irq.lines[irq].enabled = false }
+
+// UnmaskInterrupt re-enables delivery.
+func (k *Kernel) UnmaskInterrupt(irq int) { k.irq.lines[irq].enabled = true }
+
+// PostIRQ latches an interrupt request on the vector. It is dispatched at
+// the next safe point inside Advance (quantum start, tick boundary, or
+// thread yield). Posting an unattached vector is a board wiring error.
+func (k *Kernel) PostIRQ(irq int) {
+	if irq < 0 || irq >= NumIRQs {
+		panic(fmt.Sprintf("rtos: IRQ %d out of range", irq))
+	}
+	l := &k.irq.lines[irq]
+	if !l.attached {
+		panic(fmt.Sprintf("rtos: IRQ %d posted but no handler attached", irq))
+	}
+	l.pending = true
+}
+
+// IRQPending reports whether the vector is latched (for tests/diagnostics).
+func (k *Kernel) IRQPending(irq int) bool { return k.irq.lines[irq].pending }

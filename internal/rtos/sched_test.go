@@ -1,0 +1,165 @@
+package rtos
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestJoinWaitsForExit(t *testing.T) {
+	k := NewKernel(testCfg())
+	var order []string
+	worker := k.CreateThread("worker", 12, func(c *ThreadCtx) {
+		c.Charge(700)
+		order = append(order, "worker-done")
+		c.Exit()
+	})
+	k.CreateThread("parent", 5, func(c *ThreadCtx) {
+		c.Join(worker)
+		order = append(order, "parent-resumed")
+		c.Exit()
+	})
+	k.Advance(10000)
+	if len(order) != 2 || order[0] != "worker-done" || order[1] != "parent-resumed" {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestJoinExitedThreadReturnsImmediately(t *testing.T) {
+	k := NewKernel(testCfg())
+	quick := k.CreateThread("quick", 3, func(c *ThreadCtx) { c.Exit() })
+	joined := false
+	k.CreateThread("late", 10, func(c *ThreadCtx) {
+		c.Charge(500) // let quick exit first
+		c.Join(quick)
+		joined = true
+		c.Exit()
+	})
+	k.Advance(10000)
+	if !joined {
+		t.Fatal("join on exited thread blocked")
+	}
+}
+
+func TestJoinBodyReturnAlsoWakes(t *testing.T) {
+	k := NewKernel(testCfg())
+	// Worker returns from its body instead of calling Exit.
+	worker := k.CreateThread("w", 12, func(c *ThreadCtx) { c.Charge(300) })
+	resumed := false
+	k.CreateThread("j", 5, func(c *ThreadCtx) {
+		c.Join(worker)
+		resumed = true
+		c.Exit()
+	})
+	k.Advance(10000)
+	if !resumed {
+		t.Fatal("joiner never woke after body return")
+	}
+}
+
+func TestJoinSelfPanics(t *testing.T) {
+	k := NewKernel(testCfg())
+	panicked := false
+	k.CreateThread("narcissist", 5, func(c *ThreadCtx) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		c.Join(c.Thread())
+	})
+	k.Advance(1000)
+	if !panicked {
+		t.Fatal("self-join accepted")
+	}
+}
+
+func TestSetPriorityRequeues(t *testing.T) {
+	cfg := testCfg()
+	cfg.TimesliceTicks = 0
+	k := NewKernel(cfg)
+	var order []string
+	mk := func(name string, prio int) *Thread {
+		return k.CreateThread(name, prio, func(c *ThreadCtx) {
+			c.Charge(200)
+			order = append(order, name)
+			c.Exit()
+		})
+	}
+	a := mk("a", 20)
+	mk("b", 10)
+	// Promote a above b before anything runs.
+	k.SetPriority(a, 2)
+	k.Advance(10000)
+	if len(order) != 2 || order[0] != "a" {
+		t.Fatalf("order %v, want a first after promotion", order)
+	}
+	// Validation.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range priority accepted")
+		}
+	}()
+	k.SetPriority(a, NumPriorities)
+}
+
+// TestSchedulerPriorityProperty: with timeslicing off and no blocking,
+// threads complete in strict priority order regardless of creation order.
+func TestSchedulerPriorityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		cfg := testCfg()
+		cfg.TimesliceTicks = 0
+		k := NewKernel(cfg)
+		n := 2 + rng.Intn(8)
+		prios := rng.Perm(NumPriorities)[:n]
+		var completions []int
+		for i := 0; i < n; i++ {
+			prio := prios[i]
+			charge := uint64(100 + rng.Intn(900))
+			k.CreateThread("t", prio, func(c *ThreadCtx) {
+				c.Charge(charge)
+				completions = append(completions, prio)
+				c.Exit()
+			})
+		}
+		k.Advance(1_000_000)
+		if len(completions) != n {
+			t.Fatalf("trial %d: %d of %d completed", trial, len(completions), n)
+		}
+		for i := 1; i < len(completions); i++ {
+			if completions[i] < completions[i-1] {
+				t.Fatalf("trial %d: priority inversion in completion order %v (prios %v)",
+					trial, completions, prios)
+			}
+		}
+	}
+}
+
+// TestTickAccountingProperty: the SW tick advances by exactly
+// granted-cycles / CyclesPerTick / divider, whatever the quantum slicing.
+func TestTickAccountingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		cfg := testCfg()
+		cfg.CyclesPerTick = uint64(10 + rng.Intn(200))
+		cfg.HWTicksPerSWTick = uint64(1 + rng.Intn(4))
+		k := NewKernel(cfg)
+		var total uint64
+		for q := 0; q < 10; q++ {
+			grant := uint64(1 + rng.Intn(5000))
+			k.Advance(grant)
+			total += grant
+		}
+		wantHW := total / cfg.CyclesPerTick
+		if k.HWTick() != wantHW {
+			t.Fatalf("trial %d: hw ticks %d, want %d (total %d cycles / %d)",
+				trial, k.HWTick(), wantHW, total, cfg.CyclesPerTick)
+		}
+		if k.SWTick() != wantHW/cfg.HWTicksPerSWTick {
+			t.Fatalf("trial %d: sw ticks %d, want %d", trial, k.SWTick(), wantHW/cfg.HWTicksPerSWTick)
+		}
+		if k.Cycles() != total {
+			t.Fatalf("trial %d: cycles %d, want %d", trial, k.Cycles(), total)
+		}
+	}
+}

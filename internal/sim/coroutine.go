@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CoroStatus describes the lifecycle state of a Coroutine.
+type CoroStatus int
+
+const (
+	// CoroSuspended: created or yielded, waiting to be resumed.
+	CoroSuspended CoroStatus = iota
+	// CoroRunning: currently executing its body (only observable from
+	// within the body itself).
+	CoroRunning
+	// CoroFinished: body returned normally.
+	CoroFinished
+	// CoroKilled: unwound by Kill before the body completed.
+	CoroKilled
+)
+
+// String implements fmt.Stringer.
+func (s CoroStatus) String() string {
+	switch s {
+	case CoroSuspended:
+		return "suspended"
+	case CoroRunning:
+		return "running"
+	case CoroFinished:
+		return "finished"
+	case CoroKilled:
+		return "killed"
+	default:
+		return fmt.Sprintf("CoroStatus(%d)", int(s))
+	}
+}
+
+// errKilled is the sentinel panic used to unwind a killed coroutine body.
+var errKilled = errors.New("sim: coroutine killed")
+
+// ErrCoroutinePanic wraps a panic that escaped a coroutine body; it is
+// re-raised on the goroutine that called Resume so simulation kernels see
+// failures synchronously.
+type ErrCoroutinePanic struct {
+	Name  string
+	Value any
+}
+
+// Error implements the error interface.
+func (e *ErrCoroutinePanic) Error() string {
+	return fmt.Sprintf("sim: coroutine %q panicked: %v", e.Name, e.Value)
+}
+
+// Coroutine implements cooperative, one-at-a-time scheduling of a function
+// body on a dedicated goroutine. Exactly one of the scheduler and the body
+// runs at any instant: Resume transfers control to the body, and the body
+// transfers control back with Yield (or by returning). This is the
+// mechanism behind SC_THREAD-style simulation processes and RTOS threads.
+//
+// A Coroutine must always be resumed from the same "scheduler side"
+// discipline: calling Resume concurrently from multiple goroutines is a
+// programming error.
+type Coroutine struct {
+	name    string
+	body    func(*Coroutine)
+	resume  chan struct{}
+	yielded chan CoroStatus
+	status  CoroStatus
+	killing bool
+	started bool
+	panicV  any // forwarded panic payload, if any
+}
+
+// NewCoroutine creates a suspended coroutine around body. The body does not
+// run until the first Resume. The body receives the coroutine itself so it
+// can Yield.
+func NewCoroutine(name string, body func(*Coroutine)) *Coroutine {
+	return &Coroutine{
+		name:    name,
+		body:    body,
+		resume:  make(chan struct{}),
+		yielded: make(chan CoroStatus),
+		status:  CoroSuspended,
+	}
+}
+
+// Name returns the diagnostic name given at creation.
+func (c *Coroutine) Name() string { return c.name }
+
+// Status returns the current lifecycle state.
+func (c *Coroutine) Status() CoroStatus { return c.status }
+
+func (c *Coroutine) run() {
+	<-c.resume
+	if c.killing {
+		c.yielded <- CoroKilled
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if r == errKilled { //nolint:errorlint // sentinel identity
+				c.yielded <- CoroKilled
+				return
+			}
+			c.panicV = r
+			c.yielded <- CoroFinished
+			return
+		}
+	}()
+	c.body(c)
+	c.yielded <- CoroFinished
+}
+
+// Resume transfers control to the coroutine body until it yields, returns,
+// or is killed, and reports the resulting status. Resuming a finished or
+// killed coroutine is a no-op that returns the terminal status. If the body
+// panicked, Resume re-panics with *ErrCoroutinePanic on the caller's
+// goroutine.
+func (c *Coroutine) Resume() CoroStatus {
+	if c.status == CoroFinished || c.status == CoroKilled {
+		return c.status
+	}
+	if !c.started {
+		c.started = true
+		go c.run()
+	}
+	c.status = CoroRunning
+	c.resume <- struct{}{}
+	st := <-c.yielded
+	c.status = st
+	if c.panicV != nil {
+		v := c.panicV
+		c.panicV = nil
+		panic(&ErrCoroutinePanic{Name: c.name, Value: v})
+	}
+	return st
+}
+
+// Yield suspends the body and returns control to the goroutine that called
+// Resume. It must only be called from within the coroutine body. When the
+// coroutine is killed while suspended, Yield never returns: it unwinds the
+// body by panicking with an internal sentinel (deferred cleanup in the body
+// still runs).
+func (c *Coroutine) Yield() {
+	c.yielded <- CoroSuspended
+	<-c.resume
+	if c.killing {
+		panic(errKilled)
+	}
+}
+
+// Kill unwinds a suspended coroutine: its body's deferred functions run,
+// then the coroutine transitions to CoroKilled. Killing a finished or
+// killed coroutine is a no-op. Kill must be called from the scheduler side
+// (never from within the body).
+func (c *Coroutine) Kill() {
+	if c.status == CoroFinished || c.status == CoroKilled {
+		return
+	}
+	c.killing = true
+	if !c.started {
+		// Never ran: mark it dead without spinning up the goroutine.
+		c.status = CoroKilled
+		return
+	}
+	c.resume <- struct{}{}
+	st := <-c.yielded
+	// A body whose defer recovers the kill sentinel and returns normally
+	// still counts as killed for the scheduler's purposes.
+	if st == CoroFinished && c.panicV != nil {
+		v := c.panicV
+		c.panicV = nil
+		panic(&ErrCoroutinePanic{Name: c.name, Value: v})
+	}
+	c.status = CoroKilled
+}

@@ -1,0 +1,132 @@
+package sim
+
+import "container/heap"
+
+// EventFunc is a callback executed when the simulation reaches the time an
+// event was scheduled for.
+type EventFunc func()
+
+// scheduledEvent is one pending timed callback. seq breaks ties between
+// events scheduled for the same instant so that pop order equals schedule
+// order, which keeps simulations deterministic.
+type scheduledEvent struct {
+	at    Time
+	seq   uint64
+	fn    EventFunc
+	index int  // heap bookkeeping
+	dead  bool // cancelled in place; skipped on pop
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ ev *scheduledEvent }
+
+// Valid reports whether the handle refers to a still-pending event.
+func (h Handle) Valid() bool { return h.ev != nil && !h.ev.dead && h.ev.index >= 0 }
+
+type eventHeap []*scheduledEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*scheduledEvent)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Queue is a deterministic timed event queue: events pop in non-decreasing
+// time order, and events scheduled for the same instant pop in the order
+// they were scheduled. Queue is not safe for concurrent use; simulation
+// kernels own it from a single goroutine.
+type Queue struct {
+	h      eventHeap
+	seq    uint64
+	popped uint64
+}
+
+// NewQueue returns an empty event queue.
+func NewQueue() *Queue { return &Queue{} }
+
+// Len returns the number of pending (non-cancelled) events. Cancelled
+// events that have not been popped yet are excluded.
+func (q *Queue) Len() int {
+	n := 0
+	for _, ev := range q.h {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Empty reports whether no live events remain.
+func (q *Queue) Empty() bool { return q.Len() == 0 }
+
+// Schedule registers fn to run at the absolute time at. It returns a handle
+// that can cancel the event before it fires.
+func (q *Queue) Schedule(at Time, fn EventFunc) Handle {
+	ev := &scheduledEvent{at: at, seq: q.seq, fn: fn}
+	q.seq++
+	heap.Push(&q.h, ev)
+	return Handle{ev: ev}
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op and returns false.
+func (q *Queue) Cancel(h Handle) bool {
+	if !h.Valid() {
+		return false
+	}
+	h.ev.dead = true
+	return true
+}
+
+// NextTime returns the timestamp of the earliest live event, or MaxTime if
+// the queue is empty.
+func (q *Queue) NextTime() Time {
+	q.skipDead()
+	if len(q.h) == 0 {
+		return MaxTime
+	}
+	return q.h[0].at
+}
+
+// Pop removes and returns the earliest live event's callback together with
+// its timestamp. ok is false when the queue is empty.
+func (q *Queue) Pop() (at Time, fn EventFunc, ok bool) {
+	q.skipDead()
+	if len(q.h) == 0 {
+		return 0, nil, false
+	}
+	ev := heap.Pop(&q.h).(*scheduledEvent)
+	q.popped++
+	return ev.at, ev.fn, true
+}
+
+// Popped returns the number of events executed so far; exposed for
+// simulator statistics.
+func (q *Queue) Popped() uint64 { return q.popped }
+
+func (q *Queue) skipDead() {
+	for len(q.h) > 0 && q.h[0].dead {
+		heap.Pop(&q.h)
+	}
+}

@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueOrdering(t *testing.T) {
+	q := NewQueue()
+	var fired []int
+	q.Schedule(NS(30), func() { fired = append(fired, 30) })
+	q.Schedule(NS(10), func() { fired = append(fired, 10) })
+	q.Schedule(NS(20), func() { fired = append(fired, 20) })
+
+	for {
+		_, fn, ok := q.Pop()
+		if !ok {
+			break
+		}
+		fn()
+	}
+	want := []int{10, 20, 30}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestQueueFIFOWithinSameInstant(t *testing.T) {
+	q := NewQueue()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		q.Schedule(NS(5), func() { order = append(order, i) })
+	}
+	for {
+		_, fn, ok := q.Pop()
+		if !ok {
+			break
+		}
+		fn()
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events fired out of schedule order at %d: %v", i, order[:i+1])
+		}
+	}
+}
+
+func TestQueueCancel(t *testing.T) {
+	q := NewQueue()
+	ran := false
+	h := q.Schedule(NS(1), func() { ran = true })
+	if !q.Cancel(h) {
+		t.Fatal("Cancel of pending event returned false")
+	}
+	if q.Cancel(h) {
+		t.Fatal("double Cancel returned true")
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("cancelled event still popped")
+	}
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after cancel, want 0", q.Len())
+	}
+}
+
+func TestQueueCancelHead(t *testing.T) {
+	q := NewQueue()
+	h := q.Schedule(NS(1), func() {})
+	q.Schedule(NS(2), func() {})
+	q.Cancel(h)
+	if nt := q.NextTime(); nt != NS(2) {
+		t.Fatalf("NextTime after head cancel = %v, want 2ns", nt)
+	}
+}
+
+func TestQueueNextTimeEmpty(t *testing.T) {
+	q := NewQueue()
+	if nt := q.NextTime(); nt != MaxTime {
+		t.Fatalf("empty queue NextTime = %v, want MaxTime", nt)
+	}
+	if !q.Empty() {
+		t.Fatal("new queue not Empty")
+	}
+}
+
+func TestQueuePopCountsStats(t *testing.T) {
+	q := NewQueue()
+	for i := 0; i < 5; i++ {
+		q.Schedule(NS(uint64(i)), func() {})
+	}
+	for {
+		if _, _, ok := q.Pop(); !ok {
+			break
+		}
+	}
+	if q.Popped() != 5 {
+		t.Fatalf("Popped = %d, want 5", q.Popped())
+	}
+}
+
+// Property: regardless of insertion order, pops come out sorted by time and,
+// within a time, by insertion sequence.
+func TestQueuePopMonotonicProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		q := NewQueue()
+		type stamp struct {
+			at  Time
+			seq int
+		}
+		for i, v := range times {
+			q.Schedule(Time(v), func() {})
+			_ = i
+		}
+		var popped []Time
+		for {
+			at, _, ok := q.Pop()
+			if !ok {
+				break
+			}
+			popped = append(popped, at)
+		}
+		if len(popped) != len(times) {
+			return false
+		}
+		sorted := make([]Time, len(times))
+		for i, v := range times {
+			sorted[i] = Time(v)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := range popped {
+			if popped[i] != sorted[i] {
+				return false
+			}
+		}
+		_ = stamp{}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cancelling a random subset removes exactly that subset.
+func TestQueueCancelSubsetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		q := NewQueue()
+		n := 1 + rng.Intn(64)
+		handles := make([]Handle, n)
+		fired := make([]bool, n)
+		for i := 0; i < n; i++ {
+			i := i
+			handles[i] = q.Schedule(Time(rng.Intn(10)), func() { fired[i] = true })
+		}
+		cancelled := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				cancelled[i] = true
+				q.Cancel(handles[i])
+			}
+		}
+		for {
+			_, fn, ok := q.Pop()
+			if !ok {
+				break
+			}
+			fn()
+		}
+		for i := 0; i < n; i++ {
+			if fired[i] == cancelled[i] {
+				t.Fatalf("trial %d: event %d fired=%v cancelled=%v", trial, i, fired[i], cancelled[i])
+			}
+		}
+	}
+}

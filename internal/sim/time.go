@@ -1,0 +1,77 @@
+// Package sim provides the discrete-event simulation foundations shared by
+// the HDL simulation kernel (package hdlsim) and the virtual-board RTOS
+// (package rtos): a simulated-time representation, a deterministic timed
+// event queue, and a cooperative coroutine runner used to implement
+// thread-style simulation processes on top of goroutines.
+package sim
+
+import "fmt"
+
+// Time is a simulated time instant, measured in picoseconds from the start
+// of simulation. Picosecond resolution lets a 64-bit value cover more than
+// 200 days of simulated time while still resolving sub-nanosecond deltas,
+// which is the resolution SystemC uses by default for RTL-level models.
+type Time uint64
+
+// Duration units, expressed in Time ticks (picoseconds).
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable simulation time. It is used as the
+// "never" sentinel by schedulers.
+const MaxTime Time = ^Time(0)
+
+// PS returns n picoseconds as a Time.
+func PS(n uint64) Time { return Time(n) * Picosecond }
+
+// NS returns n nanoseconds as a Time.
+func NS(n uint64) Time { return Time(n) * Nanosecond }
+
+// US returns n microseconds as a Time.
+func US(n uint64) Time { return Time(n) * Microsecond }
+
+// MS returns n milliseconds as a Time.
+func MS(n uint64) Time { return Time(n) * Millisecond }
+
+// Sec returns n seconds as a Time.
+func Sec(n uint64) Time { return Time(n) * Second }
+
+// String renders the time using the largest unit that divides it exactly,
+// matching the way waveform viewers print timestamps.
+func (t Time) String() string {
+	if t == MaxTime {
+		return "end-of-time"
+	}
+	switch {
+	case t == 0:
+		return "0s"
+	case t%Second == 0:
+		return fmt.Sprintf("%ds", uint64(t/Second))
+	case t%Millisecond == 0:
+		return fmt.Sprintf("%dms", uint64(t/Millisecond))
+	case t%Microsecond == 0:
+		return fmt.Sprintf("%dus", uint64(t/Microsecond))
+	case t%Nanosecond == 0:
+		return fmt.Sprintf("%dns", uint64(t/Nanosecond))
+	default:
+		return fmt.Sprintf("%dps", uint64(t))
+	}
+}
+
+// Picoseconds returns the raw picosecond count.
+func (t Time) Picoseconds() uint64 { return uint64(t) }
+
+// Cycles returns how many whole periods of the given length fit in t.
+// A zero period yields zero to avoid a division trap in callers that have
+// not configured a clock yet.
+func (t Time) Cycles(period Time) uint64 {
+	if period == 0 {
+		return 0
+	}
+	return uint64(t / period)
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	cases := []struct {
+		got, want Time
+	}{
+		{PS(1), 1},
+		{NS(1), 1000},
+		{US(1), 1000 * 1000},
+		{MS(1), 1000 * 1000 * 1000},
+		{Sec(1), 1000 * 1000 * 1000 * 1000},
+		{NS(10), 10000},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("unit conversion: got %d want %d", c.got, c.want)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0s"},
+		{PS(7), "7ps"},
+		{NS(10), "10ns"},
+		{US(3), "3us"},
+		{MS(250), "250ms"},
+		{Sec(2), "2s"},
+		{PS(1500), "1500ps"}, // 1.5ns does not divide evenly by ns
+		{MaxTime, "end-of-time"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", uint64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeCycles(t *testing.T) {
+	if got := NS(100).Cycles(NS(10)); got != 10 {
+		t.Errorf("100ns / 10ns = %d cycles, want 10", got)
+	}
+	if got := NS(105).Cycles(NS(10)); got != 10 {
+		t.Errorf("105ns / 10ns = %d cycles, want 10 (floor)", got)
+	}
+	if got := NS(100).Cycles(0); got != 0 {
+		t.Errorf("zero period must yield 0 cycles, got %d", got)
+	}
+}
+
+func TestTimeStringRoundTripUnits(t *testing.T) {
+	// Property: a time built from whole units prints with that unit or a
+	// larger one, never as raw picoseconds (unless it IS sub-ns).
+	f := func(n uint16) bool {
+		s := NS(uint64(n) * 1).String()
+		return len(s) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,57 @@
+package vcd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/hdlsim"
+	"repro/internal/sim"
+)
+
+func TestVCDLogicSignalXZ(t *testing.T) {
+	s := hdlsim.NewSimulator("t")
+	bus := hdlsim.NewResolvedSignal(s, "sda")
+	d1 := bus.NewDriver()
+	d2 := bus.NewDriver()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "top")
+	w.AddLogic("sda", bus)
+	if err := w.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	s.Thread("drv", func(c *hdlsim.Ctx) {
+		d1.Drive(hdlsim.L1)
+		c.WaitTime(sim.NS(1))
+		d2.Drive(hdlsim.L0) // conflict → x
+		c.WaitTime(sim.NS(1))
+		d1.Release()
+		d2.Release() // float → z
+	})
+	if err := s.Run(sim.NS(10)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	out := buf.String()
+	// Initial dump is z; then 1, x, z records.
+	for _, want := range []string{"z!", "1!", "x!"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("VCD missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVCDAddLogicAfterBeginPanics(t *testing.T) {
+	s := hdlsim.NewSimulator("t")
+	bus := hdlsim.NewResolvedSignal(s, "w")
+	w := NewWriter(&bytes.Buffer{}, "top")
+	if err := w.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddLogic after Begin did not panic")
+		}
+	}()
+	w.AddLogic("w", bus)
+}

@@ -1,0 +1,180 @@
+// Package vcd writes Value Change Dump (IEEE 1364) waveform files from
+// hdlsim signals, so co-simulation runs can be inspected in standard
+// waveform viewers (GTKWave et al.). Only the subset of VCD needed for
+// digital traces is emitted: $timescale/$scope/$var headers, $dumpvars
+// initial values, and #time / value-change records.
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/hdlsim"
+	"repro/internal/sim"
+)
+
+// Writer accumulates signal traces and emits a VCD stream. Register all
+// signals before the simulation starts; value changes are captured through
+// hdlsim trace callbacks.
+type Writer struct {
+	out     *bufio.Writer
+	scope   string
+	vars    []*variable
+	started bool
+	curTime sim.Time
+	timeSet bool
+	err     error
+}
+
+type variable struct {
+	id    string
+	name  string
+	width int
+	last  string
+}
+
+// NewWriter creates a VCD writer targeting w; scope names the top-level
+// $scope module.
+func NewWriter(w io.Writer, scope string) *Writer {
+	return &Writer{out: bufio.NewWriter(w), scope: scope}
+}
+
+// identifier codes per the VCD grammar: printable ASCII 33..126.
+func idCode(n int) string {
+	const lo, hi = 33, 127
+	var b []byte
+	for {
+		b = append(b, byte(lo+n%(hi-lo)))
+		n /= (hi - lo)
+		if n == 0 {
+			break
+		}
+		n--
+	}
+	return string(b)
+}
+
+func (w *Writer) newVar(name string, width int, initial string) *variable {
+	v := &variable{id: idCode(len(w.vars)), name: name, width: width, last: initial}
+	w.vars = append(w.vars, v)
+	return v
+}
+
+// AddBit traces a 1-bit signal under the given name.
+func (w *Writer) AddBit(name string, sig *hdlsim.BitSignal) {
+	if w.started {
+		panic("vcd: AddBit after Begin")
+	}
+	v := w.newVar(name, 1, bitStr(sig.Read()))
+	sig.Trace(func(at sim.Time, val bool) { w.change(at, v, bitStr(val)) })
+}
+
+// AddClock traces a clock signal.
+func (w *Writer) AddClock(name string, clk *hdlsim.Clock) {
+	w.AddBit(name, clk.Signal())
+}
+
+// AddLogic traces a four-state resolved bus line; X and Z render as the
+// native VCD 'x' and 'z' values.
+func (w *Writer) AddLogic(name string, sig *hdlsim.ResolvedSignal) {
+	if w.started {
+		panic("vcd: AddLogic after Begin")
+	}
+	v := w.newVar(name, 1, logicStr(sig.Read()))
+	sig.Trace(func(at sim.Time, val hdlsim.Logic) { w.change(at, v, logicStr(val)) })
+}
+
+func logicStr(l hdlsim.Logic) string {
+	switch l {
+	case hdlsim.L0:
+		return "0"
+	case hdlsim.L1:
+		return "1"
+	case hdlsim.LZ:
+		return "z"
+	default:
+		return "x"
+	}
+}
+
+// AddWord traces an unsigned integer signal with the given bit width.
+func AddWord[T uint8 | uint16 | uint32 | uint64](w *Writer, name string, width int, sig *hdlsim.Signal[T]) {
+	if w.started {
+		panic("vcd: AddWord after Begin")
+	}
+	v := w.newVar(name, width, vecStr(uint64(sig.Read()), width))
+	sig.Trace(func(at sim.Time, val T) { w.change(at, v, vecStr(uint64(val), width)) })
+}
+
+func bitStr(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+func vecStr(v uint64, width int) string {
+	if width <= 1 {
+		return bitStr(v&1 == 1)
+	}
+	return fmt.Sprintf("b%b ", v)
+}
+
+// Begin emits the VCD header and the initial $dumpvars block. It must be
+// called after all Add* registrations and before the simulation runs (or
+// at time zero).
+func (w *Writer) Begin() error {
+	if w.started {
+		return nil
+	}
+	w.started = true
+	fmt.Fprintf(w.out, "$date\n   repro cosim trace\n$end\n")
+	fmt.Fprintf(w.out, "$version\n   repro hdlsim VCD writer\n$end\n")
+	fmt.Fprintf(w.out, "$timescale 1ps $end\n")
+	fmt.Fprintf(w.out, "$scope module %s $end\n", w.scope)
+	for _, v := range w.vars {
+		kind := "wire"
+		fmt.Fprintf(w.out, "$var %s %d %s %s $end\n", kind, v.width, v.id, v.name)
+	}
+	fmt.Fprintf(w.out, "$upscope $end\n$enddefinitions $end\n")
+	fmt.Fprintf(w.out, "$dumpvars\n")
+	for _, v := range w.vars {
+		w.emit(v, v.last)
+	}
+	fmt.Fprintf(w.out, "$end\n")
+	return w.out.Flush()
+}
+
+func (w *Writer) change(at sim.Time, v *variable, val string) {
+	if !w.started {
+		// Pre-Begin changes just update the initial value.
+		v.last = val
+		return
+	}
+	if val == v.last {
+		return
+	}
+	v.last = val
+	if !w.timeSet || at != w.curTime {
+		w.curTime = at
+		w.timeSet = true
+		fmt.Fprintf(w.out, "#%d\n", uint64(at))
+	}
+	w.emit(v, val)
+}
+
+func (w *Writer) emit(v *variable, val string) {
+	// Vector values already carry their trailing separator space.
+	fmt.Fprintf(w.out, "%s%s\n", val, v.id)
+}
+
+// Close flushes buffered output. The underlying writer is not closed.
+func (w *Writer) Close() error {
+	if !w.started {
+		if err := w.Begin(); err != nil {
+			return err
+		}
+	}
+	return w.out.Flush()
+}

@@ -1,0 +1,144 @@
+package vcd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/hdlsim"
+	"repro/internal/sim"
+)
+
+func TestVCDHeaderAndChanges(t *testing.T) {
+	s := hdlsim.NewSimulator("t")
+	clk := s.NewClock("clk", sim.NS(10))
+	ctr := hdlsim.NewSignal[uint32](s, "ctr")
+	s.Method("count", func() { ctr.Write(ctr.Read() + 1) }, clk.Posedge()).DontInitialize()
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "top")
+	w.AddClock("clk", clk)
+	AddWord(w, "ctr", 32, ctr)
+	if err := w.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunCycles(clk, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale 1ps $end",
+		"$scope module top $end",
+		"$var wire 1 ! clk $end",
+		"$var wire 32 \" ctr $end",
+		"$enddefinitions $end",
+		"$dumpvars",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("VCD output missing %q:\n%s", want, out)
+		}
+	}
+	// Four rising edges produce counter values 1..4; b100 must appear.
+	if !strings.Contains(out, "b100 \"") {
+		t.Fatalf("VCD missing counter value 4:\n%s", out)
+	}
+	// Timestamps are monotonically increasing.
+	last := int64(-1)
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "#") {
+			var ts int64
+			if _, err := parseInt(line[1:], &ts); err != nil {
+				t.Fatalf("bad timestamp line %q", line)
+			}
+			if ts <= last {
+				t.Fatalf("timestamps not increasing: %d after %d", ts, last)
+			}
+			last = ts
+		}
+	}
+	if last < 0 {
+		t.Fatal("no timestamp records emitted")
+	}
+}
+
+func parseInt(s string, out *int64) (int, error) {
+	var n int64
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, errBad
+		}
+		n = n*10 + int64(r-'0')
+	}
+	*out = n
+	return len(s), nil
+}
+
+var errBad = &parseErr{}
+
+type parseErr struct{}
+
+func (*parseErr) Error() string { return "parse error" }
+
+func TestVCDIdentifierCodesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := idCode(i)
+		if seen[id] {
+			t.Fatalf("duplicate id code %q at %d", id, i)
+		}
+		seen[id] = true
+		for _, r := range id {
+			if r < 33 || r > 126 {
+				t.Fatalf("id code %q contains non-printable rune", id)
+			}
+		}
+	}
+}
+
+func TestVCDNoChangeNoRecord(t *testing.T) {
+	s := hdlsim.NewSimulator("t")
+	b := hdlsim.NewBitSignal(s, "quiet")
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "top")
+	w.AddBit("quiet", b)
+	if err := w.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(sim.NS(100)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if strings.Contains(buf.String()[strings.Index(buf.String(), "$end\n"):], "#") {
+		t.Fatalf("records emitted for unchanged signal:\n%s", buf.String())
+	}
+}
+
+func TestVCDAddAfterBeginPanics(t *testing.T) {
+	s := hdlsim.NewSimulator("t")
+	b := hdlsim.NewBitSignal(s, "b")
+	w := NewWriter(&bytes.Buffer{}, "top")
+	if err := w.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddBit after Begin did not panic")
+		}
+	}()
+	w.AddBit("b", b)
+}
+
+func TestVCDZeroVector(t *testing.T) {
+	if got := vecStr(0, 16); got != "b0 " {
+		t.Fatalf("vecStr(0) = %q, want \"b0 \"", got)
+	}
+	if got := vecStr(5, 8); got != "b101 " {
+		t.Fatalf("vecStr(5) = %q", got)
+	}
+	if got := vecStr(1, 1); got != "1" {
+		t.Fatalf("vecStr width 1 = %q", got)
+	}
+}
