@@ -1,0 +1,28 @@
+# Build, test, and fuzz entry points. `make ci` is the full gate.
+
+GO      ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all vet build test race fuzz-smoke ci
+
+all: build
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short deterministic shake of both native fuzz targets: new coverage is
+# explored for FUZZTIME each, then the corpus properties are re-checked.
+fuzz-smoke:
+	$(GO) test ./internal/cosim/ -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cosim/ -run '^$$' -fuzz '^FuzzMsgRoundTrip$$' -fuzztime $(FUZZTIME)
+
+ci: vet build race fuzz-smoke

@@ -3,6 +3,7 @@ package repro
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/cosim"
 	"repro/internal/router"
@@ -57,5 +58,68 @@ func TestCoSimDeterminismProperty(t *testing.T) {
 		if first != overTCP {
 			t.Fatalf("trial %d: transports differ:\n%+v\n%+v", trial, first, overTCP)
 		}
+	}
+}
+
+// TestCoSimChaosSoakDeterminism is the resilience property: a long
+// co-simulation whose link is injured by seeded chaos (drops, duplicates,
+// reordering, corruption) but protected by the session layer produces a
+// final state bit-identical to the clean run — the faults cost wall-clock
+// time, never virtual-time accuracy. Two chaos runs with the same seed
+// must also agree with each other.
+func TestCoSimChaosSoakDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak; skipped in -short")
+	}
+	rc := router.DefaultRunConfig()
+	rc.TSync = 25 // >1000 quanta over the default workload
+
+	type outcome struct {
+		r      router.Stats
+		cycles uint64
+		ticks  uint64
+	}
+	run := func(withChaos bool) (outcome, cosim.LinkStats) {
+		cfg := rc
+		if withChaos {
+			sc := cosim.UniformScenario(20260804, cosim.FaultProfile{
+				Drop: 0.01, Duplicate: 0.01, Reorder: 0.015, Corrupt: 0.01,
+			})
+			cfg.Chaos = &sc
+			rcfg := cosim.DefaultSessionConfig()
+			rcfg.RetransmitTimeout = 10 * time.Millisecond
+			cfg.Resilience = &rcfg
+		}
+		res, err := router.RunCoSim(cfg)
+		if err != nil {
+			t.Fatalf("chaos=%v: %v", withChaos, err)
+		}
+		if res.Conservation != nil {
+			t.Fatalf("chaos=%v: %v", withChaos, res.Conservation)
+		}
+		if res.HW.SyncEvents < 1000 {
+			t.Fatalf("only %d quanta; the soak wants ≥1000", res.HW.SyncEvents)
+		}
+		return outcome{r: res.Router, cycles: res.BoardCycles, ticks: res.BoardSWTicks}, res.Link.Link
+	}
+
+	clean, cleanLink := run(false)
+	dirty, link := run(true)
+	again, _ := run(true)
+
+	if clean != dirty {
+		t.Fatalf("chaos changed the virtual-time result:\nclean %+v\ndirty %+v", clean, dirty)
+	}
+	if dirty != again {
+		t.Fatalf("same-seed chaos runs differ:\n%+v\n%+v", dirty, again)
+	}
+	if cleanLink.FramesInjured != 0 {
+		t.Fatalf("clean run reports injuries: %+v", cleanLink)
+	}
+	if link.FramesInjured == 0 {
+		t.Fatalf("chaos injected nothing at these probabilities: %+v", link)
+	}
+	if link.Retransmits == 0 {
+		t.Fatalf("session repaired nothing despite %d injuries: %+v", link.FramesInjured, link)
 	}
 }

@@ -48,8 +48,12 @@ func NewBoardEndpoint(tr Transport) *BoardEndpoint {
 	return ep
 }
 
-// Metrics returns the link counters.
-func (ep *BoardEndpoint) Metrics() *Metrics { return &ep.m }
+// Metrics returns the link counters, harvesting resilience/chaos
+// counters from the transport stack.
+func (ep *BoardEndpoint) Metrics() *Metrics {
+	ep.m.harvestLink(ep.tr)
+	return &ep.m
+}
 
 // WaitGrant blocks until the simulator issues the next quantum (or ends
 // the run), draining exactly the cross-traffic the grant announces.
@@ -138,9 +142,8 @@ func (ep *BoardEndpoint) Ack(boardCycle, swTick uint64) error {
 
 // FinishAck acknowledges shutdown, reporting final board time.
 func (ep *BoardEndpoint) FinishAck(boardCycle, swTick uint64) error {
+	defer ep.m.StopClock()
 	m := Msg{Type: MTFinishAck, BoardCycle: boardCycle, SWTick: swTick}
 	ep.m.BytesSent += uint64(m.WireSize())
-	err := ep.tr.Send(ChanClock, m)
-	ep.m.StopClock()
-	return err
+	return ep.tr.Send(ChanClock, m)
 }

@@ -1,0 +1,180 @@
+package cosim
+
+import (
+	"testing"
+	"time"
+)
+
+// chaosEcho pushes n addressed data-writes through a chaos wrapper and
+// returns the Addr sequence the peer observed.
+func chaosEcho(t *testing.T, sc Scenario, n int) ([]uint32, ChaosStats) {
+	t.Helper()
+	a, b := NewInProcPair(4 * n)
+	ct := NewChaosTransport(a, sc)
+	for i := 0; i < n; i++ {
+		if err := ct.Send(ChanData, Msg{Type: MTDataWrite, Addr: uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []uint32
+	for {
+		m, ok, err := b.TryRecv(ChanData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, m.Addr)
+	}
+	stats := ct.ChaosStats()
+	ct.Close()
+	return got, stats
+}
+
+// TestChaosDeterministicSchedule: the same seed injures the same frames
+// and yields the same delivered sequence, run after run.
+func TestChaosDeterministicSchedule(t *testing.T) {
+	sc := UniformScenario(424242, FaultProfile{Drop: 0.1, Duplicate: 0.1, Reorder: 0.1, Corrupt: 0.1, Truncate: 0.05})
+	first, fstats := chaosEcho(t, sc, 500)
+	second, sstats := chaosEcho(t, sc, 500)
+	if fstats != sstats {
+		t.Fatalf("same seed, different fault counts:\n%+v\n%+v", fstats, sstats)
+	}
+	if fstats.Injured() == 0 {
+		t.Fatal("scenario injected no faults at these probabilities")
+	}
+	if len(first) != len(second) {
+		t.Fatalf("delivered %d vs %d frames", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("frame %d: %d vs %d", i, first[i], second[i])
+		}
+	}
+	other, _ := chaosEcho(t, sc.WithSeed(7), 500)
+	same := len(other) == len(first)
+	if same {
+		for i := range first {
+			if first[i] != other[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical 500-frame schedule")
+	}
+}
+
+// TestChaosDropAll: probability 1 drops silently lose every frame.
+func TestChaosDropAll(t *testing.T) {
+	got, stats := chaosEcho(t, UniformScenario(1, FaultProfile{Drop: 1}), 50)
+	if len(got) != 0 {
+		t.Fatalf("%d frames leaked through Drop=1", len(got))
+	}
+	if stats.Dropped != 50 {
+		t.Fatalf("Dropped = %d, want 50", stats.Dropped)
+	}
+}
+
+// TestChaosDuplicateAll: every frame arrives exactly twice, in order.
+func TestChaosDuplicateAll(t *testing.T) {
+	got, stats := chaosEcho(t, UniformScenario(2, FaultProfile{Duplicate: 1}), 20)
+	if len(got) != 40 {
+		t.Fatalf("delivered %d frames, want 40", len(got))
+	}
+	for i := 0; i < 20; i++ {
+		if got[2*i] != uint32(i) || got[2*i+1] != uint32(i) {
+			t.Fatalf("frame %d not duplicated in place: %v", i, got)
+		}
+	}
+	if stats.Duplicated != 20 {
+		t.Fatalf("Duplicated = %d, want 20", stats.Duplicated)
+	}
+}
+
+// TestChaosReorderSwapsAdjacent: with Reorder=1, frames are delivered in
+// pairwise-swapped order (1,0,3,2,...): each stashed frame is released
+// right after its successor.
+func TestChaosReorderSwapsAdjacent(t *testing.T) {
+	got, stats := chaosEcho(t, UniformScenario(3, FaultProfile{Reorder: 1}), 10)
+	if len(got) != 10 {
+		t.Fatalf("delivered %d frames, want 10 (held frame must be flushed)", len(got))
+	}
+	want := []uint32{1, 0, 3, 2, 5, 4, 7, 6, 9, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if stats.Reordered != 5 {
+		t.Fatalf("Reordered = %d, want 5", stats.Reordered)
+	}
+}
+
+// TestChaosCloseFlushesHeldFrame: a frame stashed by a reorder fault with
+// no successor is emitted at Close, not lost.
+func TestChaosCloseFlushesHeldFrame(t *testing.T) {
+	a, b := NewInProcPair(8)
+	ct := NewChaosTransport(a, UniformScenario(4, FaultProfile{Reorder: 1}))
+	if err := ct.Send(ChanInt, Msg{Type: MTInterrupt, IRQ: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := b.TryRecv(ChanInt); ok {
+		t.Fatal("stashed frame visible before Close")
+	}
+	ct.Close()
+	m, ok, err := b.TryRecv(ChanInt)
+	if err != nil || !ok || m.IRQ != 5 {
+		t.Fatalf("held frame not flushed: %+v %v %v", m, ok, err)
+	}
+}
+
+// TestChaosTamperNeverPanics: corruption and truncation over every
+// message type must never panic, whatever they produce.
+func TestChaosTamperNeverPanics(t *testing.T) {
+	msgs := []Msg{
+		{Type: MTHello, Version: 1},
+		{Type: MTClockGrant, Ticks: 100, HWCycle: 1, DataCount: 1, IntCount: 1},
+		{Type: MTTimeAck, BoardCycle: 5, SWTick: 2, DataCount: 1},
+		{Type: MTFinish, HWCycle: 9},
+		{Type: MTInterrupt, IRQ: 3},
+		{Type: MTDataWrite, Addr: 1, Words: []uint32{1, 2, 3, 4}},
+		{Type: MTDataReadReq, Addr: 2, Count: 8},
+		{Type: MTSessionData, Seq: 1, Crc: 2, Raw: []byte{7, 1, 2, 3, 4}},
+		{Type: MTHeartbeat, Seq: 11},
+	}
+	a, _ := NewInProcPair(1024)
+	ct := NewChaosTransport(a, UniformScenario(5, FaultProfile{Corrupt: 0.7, Truncate: 0.7}))
+	for round := 0; round < 50; round++ {
+		for _, m := range msgs {
+			if err := ct.Send(ChanClock, m); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ct.Close()
+}
+
+// TestChaosDelayIsWallClockOnly: a delay fault stalls the send but loses
+// nothing.
+func TestChaosDelayIsWallClockOnly(t *testing.T) {
+	a, b := NewInProcPair(64)
+	ct := NewChaosTransport(a, UniformScenario(6, FaultProfile{Delay: 1, MaxDelay: 100 * time.Microsecond}))
+	for i := 0; i < 10; i++ {
+		if err := ct.Send(ChanData, Msg{Type: MTDataWrite, Addr: uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		m, err := b.Recv(ChanData)
+		if err != nil || m.Addr != uint32(i) {
+			t.Fatalf("frame %d: %+v %v", i, m, err)
+		}
+	}
+	if st := ct.ChaosStats(); st.Delayed != 10 {
+		t.Fatalf("Delayed = %d, want 10", st.Delayed)
+	}
+	ct.Close()
+}

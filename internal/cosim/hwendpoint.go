@@ -73,8 +73,12 @@ func NewHWEndpoint(tr Transport, mode SyncMode) *HWEndpoint {
 	return ep
 }
 
-// Metrics returns the link counters (valid after the run).
-func (ep *HWEndpoint) Metrics() *Metrics { return &ep.m }
+// Metrics returns the link counters (valid after the run), harvesting
+// resilience/chaos counters from the transport stack.
+func (ep *HWEndpoint) Metrics() *Metrics {
+	ep.m.harvestLink(ep.tr)
+	return &ep.m
+}
 
 // BoardTime returns the board's local cycle and software tick from the
 // most recently consumed acknowledgement.
@@ -206,6 +210,9 @@ func toKernelMsg(m Msg) (hdlsim.DataMsg, error) {
 // acknowledgement, tells the board the simulation is over, and waits for
 // its final statistics.
 func (ep *HWEndpoint) Finish(hwCycle uint64) error {
+	// Stop the wall clock on every exit path so Metrics.Wall is valid
+	// even when the shutdown handshake fails.
+	defer ep.m.StopClock()
 	for ep.outstanding > 0 {
 		if err := ep.consumeAck(); err != nil {
 			return err
@@ -216,7 +223,7 @@ func (ep *HWEndpoint) Finish(hwCycle uint64) error {
 	if err := ep.tr.Send(ChanClock, fin); err != nil {
 		return err
 	}
-	ack, err := ep.tr.Recv(ChanClock)
+	ack, err := RecvTimeout(ep.tr, ChanClock, ep.AckTimeout)
 	if err != nil {
 		return err
 	}
@@ -225,7 +232,6 @@ func (ep *HWEndpoint) Finish(hwCycle uint64) error {
 	}
 	ep.lastBoardCycle = ack.BoardCycle
 	ep.lastSWTick = ack.SWTick
-	ep.m.StopClock()
 	return nil
 }
 

@@ -15,14 +15,28 @@ type Metrics struct {
 	SyncWait     time.Duration // wall-clock time blocked in CLOCK rendezvous
 	WallStart    time.Time     // set by Start
 	Wall         time.Duration // set by StopClock
+
+	// Link holds the resilience counters (retransmits, reconnects,
+	// heartbeats missed, frames injured by chaos, …) harvested from the
+	// endpoint's transport when it is session- or chaos-wrapped.
+	Link LinkStats
 }
 
-// Start stamps the beginning of the measured region.
+// Start stamps the beginning of the measured region. Both endpoint
+// constructors call it, so StopClock always has a reference point.
 func (m *Metrics) Start() { m.WallStart = time.Now() }
 
-// StopClock records the elapsed wall-clock time since Start.
+// StopClock records the elapsed wall-clock time since Start. Without a
+// prior Start it leaves Wall untouched rather than recording garbage.
 func (m *Metrics) StopClock() {
 	if !m.WallStart.IsZero() {
 		m.Wall = time.Since(m.WallStart)
+	}
+}
+
+// harvestLink copies resilience counters from tr if it exposes them.
+func (m *Metrics) harvestLink(tr Transport) {
+	if ls, ok := tr.(linkStatser); ok {
+		m.Link = ls.LinkStats()
 	}
 }

@@ -80,6 +80,21 @@ const (
 	MTDataReadReq
 	// MTDataReadResp (DATA, HW→board): response to a read request.
 	MTDataReadResp
+	// MTSessionData (any channel, either direction): the resilient-session
+	// envelope (see session.go). Raw holds a complete inner message body
+	// (type byte + payload), Seq its per-channel sequence number and Crc a
+	// CRC-32 over sequence number and body so corruption is detected at
+	// the session layer instead of poisoning the endpoint.
+	MTSessionData
+	// MTSessionAck (any channel, reverse direction): cumulative receipt —
+	// every envelope with sequence number ≤ Seq arrived on this channel.
+	MTSessionAck
+	// MTSessionNack (any channel, reverse direction): a sequence gap was
+	// observed; retransmit every unacknowledged envelope from Seq up.
+	MTSessionNack
+	// MTHeartbeat (CLOCK, either direction): liveness probe carrying a
+	// monotonic counter in Seq; never sequenced, never retransmitted.
+	MTHeartbeat
 )
 
 // String implements fmt.Stringer.
@@ -103,6 +118,14 @@ func (t MsgType) String() string {
 		return "data-read-req"
 	case MTDataReadResp:
 		return "data-read-resp"
+	case MTSessionData:
+		return "session-data"
+	case MTSessionAck:
+		return "session-ack"
+	case MTSessionNack:
+		return "session-nack"
+	case MTHeartbeat:
+		return "heartbeat"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -132,11 +155,21 @@ type Msg struct {
 
 	// Hello fields.
 	Version uint16
+
+	// Session-layer fields (MTSessionData/Ack/Nack, MTHeartbeat).
+	Seq uint64 // per-channel sequence / cumulative ack / heartbeat counter
+	Crc uint32 // CRC-32 (IEEE): over Seq+Raw for envelopes, Seq+type for control frames
+	Raw []byte // complete inner message body (type byte + payload)
 }
 
 // MaxWords bounds the Words slice on the wire to keep a corrupted length
 // prefix from allocating unbounded memory.
 const MaxWords = 1 << 16
+
+// maxFrameBody bounds the body of one frame on the wire. It is sized so a
+// session envelope (17 bytes of header) can still carry the largest
+// unwrapped message body (a MaxWords data-write).
+const maxFrameBody = 4*(MaxWords+8) + 32
 
 // Encode writes the message in its framed wire format:
 //
@@ -179,6 +212,14 @@ func (m *Msg) appendBody(b []byte) []byte {
 	case MTDataReadReq:
 		b = le.AppendUint32(b, m.Addr)
 		b = le.AppendUint32(b, m.Count)
+	case MTSessionData:
+		b = le.AppendUint64(b, m.Seq)
+		b = le.AppendUint32(b, m.Crc)
+		b = le.AppendUint32(b, uint32(len(m.Raw)))
+		b = append(b, m.Raw...)
+	case MTSessionAck, MTSessionNack, MTHeartbeat:
+		b = le.AppendUint64(b, m.Seq)
+		b = le.AppendUint32(b, m.Crc)
 	default:
 		panic(fmt.Sprintf("cosim: encode of unknown message type %d", m.Type))
 	}
@@ -192,7 +233,7 @@ func Decode(r io.Reader) (Msg, error) {
 		return Msg{}, err
 	}
 	n := binary.LittleEndian.Uint32(lenBuf[:])
-	if n == 0 || n > 4*(MaxWords+8) {
+	if n == 0 || n > maxFrameBody {
 		return Msg{}, fmt.Errorf("cosim: implausible frame length %d", n)
 	}
 	body := make([]byte, n)
@@ -265,6 +306,26 @@ func decodeBody(body []byte) (Msg, error) {
 		}
 		m.Addr = le.Uint32(p)
 		m.Count = le.Uint32(p[4:])
+	case MTSessionData:
+		if err := need(16); err != nil {
+			return m, err
+		}
+		m.Seq = le.Uint64(p)
+		m.Crc = le.Uint32(p[8:])
+		rawLen := le.Uint32(p[12:])
+		if rawLen > maxFrameBody {
+			return m, fmt.Errorf("cosim: session envelope of %d bytes exceeds limit", rawLen)
+		}
+		if err := need(16 + int(rawLen)); err != nil {
+			return m, err
+		}
+		m.Raw = append([]byte(nil), p[16:16+rawLen]...)
+	case MTSessionAck, MTSessionNack, MTHeartbeat:
+		if err := need(12); err != nil {
+			return m, err
+		}
+		m.Seq = le.Uint64(p)
+		m.Crc = le.Uint32(p[8:])
 	default:
 		return m, fmt.Errorf("cosim: unknown message type %d", body[0])
 	}

@@ -36,6 +36,10 @@ func TestProtoRoundTripAllTypes(t *testing.T) {
 		{Type: MTDataWrite, Addr: 0x200, Words: nil},
 		{Type: MTDataReadReq, Addr: 0x300, Count: 16},
 		{Type: MTDataReadResp, Addr: 0x300, Words: []uint32{0xdeadbeef}},
+		{Type: MTSessionData, Seq: 42, Crc: 0xfeedface, Raw: []byte{7, 1, 2, 3}},
+		{Type: MTSessionAck, Seq: 41},
+		{Type: MTSessionNack, Seq: 40},
+		{Type: MTHeartbeat, Seq: 1 << 33},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
@@ -184,7 +188,7 @@ func TestChannelAndTypeStrings(t *testing.T) {
 	if Channel(9).String() == "" || MsgType(200).String() == "" {
 		t.Fatal("out-of-range strings empty")
 	}
-	for mt := MTHello; mt <= MTDataReadResp; mt++ {
+	for mt := MTHello; mt <= MTHeartbeat; mt++ {
 		if mt.String() == "" {
 			t.Fatalf("no name for type %d", mt)
 		}

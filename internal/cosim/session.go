@@ -1,0 +1,729 @@
+package cosim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrPeerDead is returned by session transports when the heartbeat
+// watchdog declares the peer unreachable.
+var ErrPeerDead = errors.New("cosim: peer heartbeat lost")
+
+// SessionConfig tunes the resilience layer. The zero value of every field
+// selects the default from DefaultSessionConfig; heartbeats are opt-in
+// (HeartbeatInterval 0 disables them).
+type SessionConfig struct {
+	// AckEvery is the cumulative-ack cadence in delivered frames.
+	AckEvery int
+	// RetransmitTimeout is the Go-Back-N retransmission timeout: unacked
+	// envelopes older than this are re-sent.
+	RetransmitTimeout time.Duration
+	// HeartbeatInterval, when positive, emits a heartbeat on CLOCK at this
+	// period and watches peer traffic for liveness.
+	HeartbeatInterval time.Duration
+	// HeartbeatMiss is the number of silent intervals after which the peer
+	// is declared dead.
+	HeartbeatMiss int
+	// Redial, when set, re-establishes the underlying transport after a
+	// failure (board side: DialTCP; simulator side: Listener.Accept).
+	// Unacked envelopes are replayed on the new link. When nil, an inner
+	// failure is fatal to the session.
+	Redial func() (Transport, error)
+	// MaxRedials bounds consecutive failed redial attempts per outage.
+	MaxRedials int
+	// RedialBackoff is the initial redial backoff; it doubles per failed
+	// attempt up to RedialBackoffMax.
+	RedialBackoff    time.Duration
+	RedialBackoffMax time.Duration
+}
+
+// DefaultSessionConfig returns the default resilience tuning.
+func DefaultSessionConfig() SessionConfig {
+	return SessionConfig{
+		AckEvery:          1,
+		RetransmitTimeout: 100 * time.Millisecond,
+		HeartbeatMiss:     3,
+		MaxRedials:        8,
+		RedialBackoff:     5 * time.Millisecond,
+		RedialBackoffMax:  time.Second,
+	}
+}
+
+// LinkStats aggregates the resilience-layer counters of one session (and
+// the fault-injection counters of a ChaosTransport beneath it, if any).
+type LinkStats struct {
+	Retransmits      uint64 // envelopes re-sent (RTO, nack, or replay)
+	Reconnects       uint64 // successful redials
+	HeartbeatsSent   uint64
+	HeartbeatsMissed uint64 // silent heartbeat intervals observed
+	DupsDropped      uint64 // duplicate envelopes discarded
+	CrcDropped       uint64 // envelopes failing the CRC check
+	GapsSeen         uint64 // out-of-order arrivals (nack triggers)
+	AliensDropped    uint64 // non-session frames discarded by the session
+	FramesInjured    uint64 // frames tampered with by a chaos layer below
+}
+
+// linkStatser is implemented by transports that expose resilience
+// counters; endpoint Metrics harvest them after a run.
+type linkStatser interface{ LinkStats() LinkStats }
+
+// chaosStatser is implemented by ChaosTransport.
+type chaosStatser interface{ ChaosStats() ChaosStats }
+
+// sessionCRC covers the sequence number and the raw body, so corruption
+// of either is detected at the session layer.
+func sessionCRC(seq uint64, body []byte) uint32 {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], seq)
+	c := crc32.Update(0, crc32.IEEETable, hdr[:])
+	return crc32.Update(c, crc32.IEEETable, body)
+}
+
+// controlMsg builds an ack/nack/heartbeat frame. Control frames carry a
+// CRC binding the sequence number to the frame type, so a bit-flipped
+// ack cannot prune undelivered frames (or masquerade as a nack).
+func controlMsg(typ MsgType, seq uint64) Msg {
+	return Msg{Type: typ, Seq: seq, Crc: sessionCRC(seq, []byte{byte(typ)})}
+}
+
+// validControl reports whether a received control frame is intact.
+func validControl(m Msg) bool {
+	return m.Crc == sessionCRC(m.Seq, []byte{byte(m.Type)})
+}
+
+type pendingEnv struct {
+	env    Msg
+	sentAt time.Time
+}
+
+type sessionSendState struct {
+	nextSeq uint64
+	unacked []pendingEnv
+}
+
+type sessionRecvState struct {
+	lastDelivered uint64
+	sinceAck      int
+	lastNacked    uint64    // last sequence number a nack asked for
+	nackedAt      time.Time // when it was sent (suppresses nack storms)
+}
+
+type failEvent struct {
+	gen int
+	err error
+}
+
+// SessionTransport decorates a Transport with per-channel sequence
+// numbers, cumulative acks, Go-Back-N retransmission, duplicate
+// suppression, CRC corruption detection, an optional CLOCK-channel
+// heartbeat, and optional redial-with-backoff reconnection. Endpoints on
+// top of it observe an unbroken FIFO stream per channel even when the
+// link beneath drops, duplicates, reorders, or corrupts frames — which
+// is what keeps the virtual-tick protocol deterministic across faults.
+type SessionTransport struct {
+	cfg SessionConfig
+
+	mu           sync.Mutex
+	inner        Transport
+	gen          int
+	reconnecting bool
+	send         [numChannels]sessionSendState
+	recvSt       [numChannels]sessionRecvState
+	injuredBase  uint64 // chaos injuries accumulated from replaced inners
+
+	inbox [numChannels]chan Msg
+	// outbox decouples every sender (readLoop acks/nacks, RTO and nack
+	// retransmits, user Sends) from the inner transport: one writer
+	// goroutine per channel performs the actual inner.Send, so a read
+	// loop can never block on a full link — the deadlock where both
+	// peers' readers wait for each other's writer to drain.
+	outbox [numChannels]chan Msg
+
+	closed    chan struct{} // user called Close
+	done      chan struct{} // terminal failure or close
+	closeOnce sync.Once
+	failOnce  sync.Once
+	errMu     sync.Mutex
+	err       error
+
+	failc    chan failEvent
+	lastRecv atomic.Int64 // unix nanos of last frame from the peer
+
+	retransmits, reconnects           atomic.Uint64
+	hbSent, hbMissed                  atomic.Uint64
+	dupsDropped, crcDropped, gapsSeen atomic.Uint64
+	aliensDropped                     atomic.Uint64
+}
+
+// NewSessionTransport wraps inner in a resilient session. Both peers must
+// wrap their side: envelopes are not understood by plain endpoints.
+func NewSessionTransport(inner Transport, cfg SessionConfig) *SessionTransport {
+	def := DefaultSessionConfig()
+	if cfg.AckEvery <= 0 {
+		cfg.AckEvery = def.AckEvery
+	}
+	if cfg.RetransmitTimeout <= 0 {
+		cfg.RetransmitTimeout = def.RetransmitTimeout
+	}
+	if cfg.HeartbeatMiss <= 0 {
+		cfg.HeartbeatMiss = def.HeartbeatMiss
+	}
+	if cfg.MaxRedials <= 0 {
+		cfg.MaxRedials = def.MaxRedials
+	}
+	if cfg.RedialBackoff <= 0 {
+		cfg.RedialBackoff = def.RedialBackoff
+	}
+	if cfg.RedialBackoffMax < cfg.RedialBackoff {
+		cfg.RedialBackoffMax = def.RedialBackoffMax
+		if cfg.RedialBackoffMax < cfg.RedialBackoff {
+			cfg.RedialBackoffMax = cfg.RedialBackoff
+		}
+	}
+	s := &SessionTransport{
+		cfg:    cfg,
+		inner:  inner,
+		closed: make(chan struct{}),
+		done:   make(chan struct{}),
+		failc:  make(chan failEvent, 2*int(numChannels)),
+	}
+	for i := range s.inbox {
+		s.inbox[i] = make(chan Msg, tcpInboxDepth)
+		s.outbox[i] = make(chan Msg, tcpInboxDepth)
+	}
+	s.lastRecv.Store(time.Now().UnixNano())
+	for ch := Channel(0); ch < numChannels; ch++ {
+		go s.readLoop(0, inner, ch)
+		go s.writeLoop(ch)
+	}
+	go s.supervise()
+	go s.rtoLoop()
+	if cfg.HeartbeatInterval > 0 {
+		go s.heartbeatLoop()
+	}
+	return s
+}
+
+// NewReconnectTransport dials the initial link via dial and wraps it in a
+// session that redials (with capped exponential backoff) and replays
+// unacked frames whenever the link fails.
+func NewReconnectTransport(dial func() (Transport, error), cfg SessionConfig) (*SessionTransport, error) {
+	tr, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Redial = dial
+	return NewSessionTransport(tr, cfg), nil
+}
+
+func (s *SessionTransport) fail(err error) {
+	s.failOnce.Do(func() {
+		s.errMu.Lock()
+		s.err = err
+		s.errMu.Unlock()
+		close(s.done)
+	})
+}
+
+func (s *SessionTransport) sessionErr() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return ErrClosed
+}
+
+// Send implements Transport: it wraps m in a sequenced, CRC-protected
+// envelope, buffers it for retransmission, and queues it on the current
+// inner link. While the link is down and a Redial is configured, Send
+// succeeds immediately — the frame is replayed after reconnection. An
+// inner-transport write error without a Redial fails the session and is
+// reported by the next operation.
+func (s *SessionTransport) Send(ch Channel, m Msg) error {
+	if ch >= numChannels {
+		return fmt.Errorf("cosim: invalid channel %d", ch)
+	}
+	select {
+	case <-s.done:
+		return s.sessionErr()
+	default:
+	}
+	body := m.appendBody(nil)
+	s.mu.Lock()
+	st := &s.send[ch]
+	st.nextSeq++
+	env := Msg{Type: MTSessionData, Seq: st.nextSeq, Crc: sessionCRC(st.nextSeq, body), Raw: body}
+	st.unacked = append(st.unacked, pendingEnv{env: env, sentAt: time.Now()})
+	s.mu.Unlock()
+	select {
+	case s.outbox[ch] <- env:
+	case <-s.done:
+		return s.sessionErr()
+	}
+	return nil
+}
+
+// sendControl best-effort queues an unsequenced control frame. A full
+// outbox drops it: loss is covered by the retransmission timeout.
+func (s *SessionTransport) sendControl(ch Channel, m Msg) {
+	select {
+	case s.outbox[ch] <- m:
+	default:
+	}
+}
+
+// queueRetransmit best-effort queues an envelope re-send, returning
+// whether it was queued.
+func (s *SessionTransport) queueRetransmit(ch Channel, env Msg) bool {
+	select {
+	case s.outbox[ch] <- env:
+		s.retransmits.Add(1)
+		return true
+	default:
+		return false // backpressure: the RTO will try again
+	}
+}
+
+// writeLoop is the only goroutine that writes channel ch of the inner
+// transport. Keeping writes off the read loops guarantees the session
+// always drains its peer, so a full link can slow frames down but never
+// deadlock the rendezvous.
+func (s *SessionTransport) writeLoop(ch Channel) {
+	for {
+		var m Msg
+		select {
+		case <-s.done:
+			return
+		case m = <-s.outbox[ch]:
+		}
+		s.mu.Lock()
+		inner := s.inner
+		gen := s.gen
+		down := s.reconnecting
+		s.mu.Unlock()
+		if down {
+			continue // envelopes sit in unacked and are replayed on reconnect
+		}
+		if err := inner.Send(ch, m); err != nil {
+			if s.cfg.Redial == nil {
+				s.fail(err)
+				return
+			}
+			s.notifyFail(gen, err)
+		}
+	}
+}
+
+func (s *SessionTransport) notifyFail(gen int, err error) {
+	select {
+	case s.failc <- failEvent{gen: gen, err: err}:
+	default:
+	}
+}
+
+func (s *SessionTransport) readLoop(gen int, tr Transport, ch Channel) {
+	for {
+		m, err := tr.Recv(ch)
+		if err != nil {
+			s.notifyFail(gen, fmt.Errorf("cosim: %v channel: %w", ch, err))
+			return
+		}
+		s.lastRecv.Store(time.Now().UnixNano())
+		switch m.Type {
+		case MTSessionData:
+			if !s.handleData(ch, m) {
+				return
+			}
+		case MTSessionAck:
+			if validControl(m) {
+				s.handleAck(ch, m.Seq)
+			} else {
+				s.crcDropped.Add(1) // loss is safe: the RTO re-acks
+			}
+		case MTSessionNack:
+			if validControl(m) {
+				s.handleNack(ch, m.Seq)
+			} else {
+				s.crcDropped.Add(1)
+			}
+		case MTHeartbeat:
+			// Liveness only; lastRecv updated above.
+		default:
+			// Anything else is a corrupted frame that happened to decode
+			// as a plain message: both peers of a session speak envelopes
+			// only, so deliver nothing the CRC has not vouched for.
+			s.aliensDropped.Add(1)
+		}
+	}
+}
+
+// maybeNack requests retransmission from the next undelivered sequence
+// number, suppressing repeats while one is already outstanding: a burst
+// of out-of-order arrivals must not snowball into a storm of full-window
+// resends.
+func (s *SessionTransport) maybeNack(ch Channel) {
+	s.mu.Lock()
+	rs := &s.recvSt[ch]
+	next := rs.lastDelivered + 1
+	now := time.Now()
+	if rs.lastNacked == next && now.Sub(rs.nackedAt) < s.cfg.RetransmitTimeout {
+		s.mu.Unlock()
+		return
+	}
+	rs.lastNacked = next
+	rs.nackedAt = now
+	s.mu.Unlock()
+	s.sendControl(ch, controlMsg(MTSessionNack, next))
+}
+
+// handleData processes one envelope; it reports false when the session
+// has failed terminally.
+func (s *SessionTransport) handleData(ch Channel, env Msg) bool {
+	if len(env.Raw) == 0 || sessionCRC(env.Seq, env.Raw) != env.Crc {
+		s.crcDropped.Add(1)
+		s.maybeNack(ch)
+		return true
+	}
+	s.mu.Lock()
+	rs := &s.recvSt[ch]
+	switch {
+	case env.Seq == rs.lastDelivered+1:
+		rs.lastDelivered = env.Seq
+		rs.sinceAck++
+		ackDue := rs.sinceAck >= s.cfg.AckEvery
+		if ackDue {
+			rs.sinceAck = 0
+		}
+		s.mu.Unlock()
+		inner, err := decodeBody(env.Raw)
+		if err != nil {
+			s.fail(fmt.Errorf("cosim: undecodable session payload on %v: %w", ch, err))
+			return false
+		}
+		s.deliver(ch, inner)
+		if ackDue {
+			s.sendControl(ch, controlMsg(MTSessionAck, env.Seq))
+		}
+	case env.Seq <= rs.lastDelivered:
+		last := rs.lastDelivered
+		s.mu.Unlock()
+		s.dupsDropped.Add(1)
+		// Refresh the peer's ack state so it can prune its buffer.
+		s.sendControl(ch, controlMsg(MTSessionAck, last))
+	default:
+		s.mu.Unlock()
+		s.gapsSeen.Add(1)
+		s.maybeNack(ch)
+	}
+	return true
+}
+
+func (s *SessionTransport) handleAck(ch Channel, upTo uint64) {
+	s.mu.Lock()
+	st := &s.send[ch]
+	i := 0
+	for i < len(st.unacked) && st.unacked[i].env.Seq <= upTo {
+		i++
+	}
+	if i > 0 {
+		st.unacked = append(st.unacked[:0], st.unacked[i:]...)
+	}
+	s.mu.Unlock()
+}
+
+func (s *SessionTransport) handleNack(ch Channel, from uint64) {
+	s.mu.Lock()
+	st := &s.send[ch]
+	now := time.Now()
+	var resend []Msg
+	for i := range st.unacked {
+		if st.unacked[i].env.Seq >= from {
+			st.unacked[i].sentAt = now
+			resend = append(resend, st.unacked[i].env)
+		}
+	}
+	s.mu.Unlock()
+	for _, env := range resend {
+		if !s.queueRetransmit(ch, env) {
+			break // outbox full; keep FIFO order and let the RTO retry
+		}
+	}
+}
+
+func (s *SessionTransport) deliver(ch Channel, m Msg) {
+	select {
+	case s.inbox[ch] <- m:
+	case <-s.done:
+	}
+}
+
+// rtoLoop re-sends unacked envelopes whose oldest member is older than
+// the retransmission timeout (Go-Back-N).
+func (s *SessionTransport) rtoLoop() {
+	period := s.cfg.RetransmitTimeout / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		for ch := Channel(0); ch < numChannels; ch++ {
+			s.mu.Lock()
+			st := &s.send[ch]
+			var resend []Msg
+			if len(st.unacked) > 0 && now.Sub(st.unacked[0].sentAt) >= s.cfg.RetransmitTimeout {
+				for i := range st.unacked {
+					st.unacked[i].sentAt = now
+					resend = append(resend, st.unacked[i].env)
+				}
+			}
+			s.mu.Unlock()
+			for _, env := range resend {
+				if !s.queueRetransmit(ch, env) {
+					break
+				}
+			}
+		}
+	}
+}
+
+// heartbeatLoop emits CLOCK heartbeats and watches for peer silence.
+func (s *SessionTransport) heartbeatLoop() {
+	iv := s.cfg.HeartbeatInterval
+	t := time.NewTicker(iv)
+	defer t.Stop()
+	var n uint64
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+		}
+		n++
+		s.sendControl(ChanClock, controlMsg(MTHeartbeat, n))
+		s.hbSent.Add(1)
+		silent := time.Since(time.Unix(0, s.lastRecv.Load()))
+		if silent <= iv {
+			continue
+		}
+		s.hbMissed.Add(1)
+		if silent <= time.Duration(s.cfg.HeartbeatMiss)*iv {
+			continue
+		}
+		s.mu.Lock()
+		gen := s.gen
+		reconnecting := s.reconnecting
+		redial := s.cfg.Redial != nil
+		s.mu.Unlock()
+		if reconnecting {
+			continue
+		}
+		if !redial {
+			s.fail(ErrPeerDead)
+			return
+		}
+		s.notifyFail(gen, ErrPeerDead)
+		// Re-arm; the supervisor resets lastRecv after reconnecting.
+		s.lastRecv.Store(time.Now().UnixNano())
+	}
+}
+
+// supervise owns inner-transport failure handling: without a Redial the
+// first failure is terminal; with one it closes the dead link, redials
+// with capped exponential backoff, replays every unacked envelope, and
+// restarts the reader goroutines.
+func (s *SessionTransport) supervise() {
+	for {
+		var ev failEvent
+		select {
+		case <-s.closed:
+			return
+		case ev = <-s.failc:
+		}
+		s.mu.Lock()
+		if ev.gen != s.gen {
+			s.mu.Unlock()
+			continue // stale report from a replaced transport
+		}
+		if s.cfg.Redial == nil {
+			s.mu.Unlock()
+			s.fail(ev.err)
+			return
+		}
+		s.gen++
+		gen := s.gen
+		s.reconnecting = true
+		old := s.inner
+		if cs, ok := old.(chaosStatser); ok {
+			s.injuredBase += cs.ChaosStats().Injured()
+		}
+		s.mu.Unlock()
+		old.Close()
+
+		backoff := s.cfg.RedialBackoff
+		var tr Transport
+		attempts := 0
+		for tr == nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			t2, err := s.cfg.Redial()
+			if err == nil {
+				tr = t2
+				break
+			}
+			attempts++
+			if attempts >= s.cfg.MaxRedials {
+				s.fail(fmt.Errorf("cosim: redial failed after %d attempts: %w", attempts, err))
+				return
+			}
+			select {
+			case <-s.closed:
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > s.cfg.RedialBackoffMax {
+				backoff = s.cfg.RedialBackoffMax
+			}
+		}
+		select {
+		case <-s.closed:
+			tr.Close()
+			return
+		default:
+		}
+
+		s.mu.Lock()
+		s.inner = tr
+		s.reconnecting = false
+		now := time.Now()
+		var replay [numChannels][]Msg
+		for ch := range s.send {
+			st := &s.send[ch]
+			for i := range st.unacked {
+				st.unacked[i].sentAt = now
+				replay[ch] = append(replay[ch], st.unacked[i].env)
+			}
+		}
+		s.mu.Unlock()
+		s.lastRecv.Store(now.UnixNano())
+		s.reconnects.Add(1)
+		for ch := Channel(0); ch < numChannels; ch++ {
+			for _, env := range replay[ch] {
+				if !s.queueRetransmit(ch, env) {
+					break // the RTO replays the rest once the queue drains
+				}
+			}
+			go s.readLoop(gen, tr, ch)
+		}
+	}
+}
+
+// Recv implements Transport.
+func (s *SessionTransport) Recv(ch Channel) (Msg, error) {
+	if ch >= numChannels {
+		return Msg{}, fmt.Errorf("cosim: invalid channel %d", ch)
+	}
+	select {
+	case m := <-s.inbox[ch]:
+		return m, nil
+	case <-s.done:
+		// Drain already-delivered messages before reporting failure.
+		select {
+		case m := <-s.inbox[ch]:
+			return m, nil
+		default:
+			return Msg{}, s.sessionErr()
+		}
+	}
+}
+
+func (s *SessionTransport) recvTimeout(ch Channel, d time.Duration) (Msg, error) {
+	if ch >= numChannels {
+		return Msg{}, fmt.Errorf("cosim: invalid channel %d", ch)
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case m := <-s.inbox[ch]:
+		return m, nil
+	case <-s.done:
+		select {
+		case m := <-s.inbox[ch]:
+			return m, nil
+		default:
+			return Msg{}, s.sessionErr()
+		}
+	case <-timer.C:
+		return Msg{}, ErrTimeout
+	}
+}
+
+// TryRecv implements Transport.
+func (s *SessionTransport) TryRecv(ch Channel) (Msg, bool, error) {
+	if ch >= numChannels {
+		return Msg{}, false, fmt.Errorf("cosim: invalid channel %d", ch)
+	}
+	select {
+	case m := <-s.inbox[ch]:
+		return m, true, nil
+	default:
+		select {
+		case <-s.done:
+			return Msg{}, false, s.sessionErr()
+		default:
+			return Msg{}, false, nil
+		}
+	}
+}
+
+// Close implements Transport.
+func (s *SessionTransport) Close() error {
+	s.closeOnce.Do(func() { close(s.closed) })
+	s.fail(ErrClosed)
+	s.mu.Lock()
+	inner := s.inner
+	s.mu.Unlock()
+	return inner.Close()
+}
+
+// LinkStats implements linkStatser: a snapshot of the session's
+// resilience counters, including chaos injuries from the layer below.
+func (s *SessionTransport) LinkStats() LinkStats {
+	ls := LinkStats{
+		Retransmits:      s.retransmits.Load(),
+		Reconnects:       s.reconnects.Load(),
+		HeartbeatsSent:   s.hbSent.Load(),
+		HeartbeatsMissed: s.hbMissed.Load(),
+		DupsDropped:      s.dupsDropped.Load(),
+		CrcDropped:       s.crcDropped.Load(),
+		GapsSeen:         s.gapsSeen.Load(),
+		AliensDropped:    s.aliensDropped.Load(),
+	}
+	s.mu.Lock()
+	injured := s.injuredBase
+	if cs, ok := s.inner.(chaosStatser); ok {
+		injured += cs.ChaosStats().Injured()
+	}
+	s.mu.Unlock()
+	ls.FramesInjured = injured
+	return ls
+}
+
+var _ Transport = (*SessionTransport)(nil)
+var _ recvTimeouter = (*SessionTransport)(nil)

@@ -93,3 +93,78 @@ func TestHWEndpointDetectsDeadBoard(t *testing.T) {
 		t.Fatalf("Sync err = %v, want ErrTimeout", err)
 	}
 }
+
+// TestRecvTimeoutFallbackSeesClosure: the polling fallback must surface a
+// transport error raised while it is waiting, not spin until the
+// deadline.
+func TestRecvTimeoutFallbackSeesClosure(t *testing.T) {
+	a, _ := NewInProcPair(8)
+	wrapped := NewDelayTransport(a, 0) // no recvTimeout: forces the poll path
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		a.Close()
+	}()
+	start := time.Now()
+	_, err := RecvTimeout(wrapped, ChanData, 5*time.Second)
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("fallback kept polling a closed transport")
+	}
+}
+
+// TestTCPCloseRacesReadLoop: closing a tcpTransport while its reader
+// goroutines are decoding inbound frames must be race-free (run under
+// -race) and leave Recv returning an error, not hanging.
+func TestTCPCloseRacesReadLoop(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		ln, err := ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := make(chan Transport, 1)
+		go func() {
+			tr, aerr := ln.Accept()
+			if aerr != nil {
+				close(acc)
+				return
+			}
+			acc <- tr
+		}()
+		board, err := DialTCP(ln.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		hw, ok := <-acc
+		if !ok {
+			t.Fatal("accept failed")
+		}
+		stop := make(chan struct{})
+		go func() { // keep the read loops busy while Close lands
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if board.Send(ChanData, Msg{Type: MTDataWrite, Addr: uint32(i)}) != nil {
+					return
+				}
+			}
+		}()
+		time.Sleep(time.Duration(round%5) * 100 * time.Microsecond)
+		hw.Close()
+		for {
+			if _, err := RecvTimeout(hw, ChanData, time.Second); err != nil {
+				if errors.Is(err, ErrTimeout) {
+					t.Fatal("Recv timed out instead of reporting closure")
+				}
+				break
+			}
+		}
+		close(stop)
+		board.Close()
+		ln.Close()
+	}
+}

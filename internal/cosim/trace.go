@@ -86,6 +86,14 @@ func SummarizeMsg(m Msg) string {
 		return fmt.Sprintf("data-read-req addr=%#x count=%d", m.Addr, m.Count)
 	case MTDataReadResp:
 		return fmt.Sprintf("data-read-resp addr=%#x words=%d", m.Addr, len(m.Words))
+	case MTSessionData:
+		return fmt.Sprintf("session-data seq=%d crc=%08x raw=%d", m.Seq, m.Crc, len(m.Raw))
+	case MTSessionAck:
+		return fmt.Sprintf("session-ack seq=%d", m.Seq)
+	case MTSessionNack:
+		return fmt.Sprintf("session-nack seq=%d", m.Seq)
+	case MTHeartbeat:
+		return fmt.Sprintf("heartbeat n=%d", m.Seq)
 	default:
 		return m.Type.String()
 	}

@@ -42,6 +42,14 @@ type RunConfig struct {
 	// LinkDelay adds a wall-clock latency per message in each direction,
 	// emulating the paper's host↔board Ethernet (see cosim.DelayTransport).
 	LinkDelay time.Duration
+	// Chaos, when non-nil, injects seeded link faults (drop, duplicate,
+	// reorder, corrupt, truncate, delay) in both directions beneath the
+	// resilience layer. Pair it with Resilience or the run will fail.
+	Chaos *cosim.Scenario
+	// Resilience, when non-nil, wraps both sides in a
+	// cosim.SessionTransport (sequence numbers, acks, retransmission),
+	// making the run survive chaos faults with identical results.
+	Resilience *cosim.SessionConfig
 }
 
 // DefaultRunConfig assembles the experiment defaults.
@@ -132,6 +140,18 @@ func RunCoSim(rc RunConfig) (RunResult, error) {
 	if rc.LinkDelay > 0 {
 		hwT = cosim.NewDelayTransport(hwT, rc.LinkDelay)
 		boardT = cosim.NewDelayTransport(boardT, rc.LinkDelay)
+	}
+	if rc.Chaos != nil {
+		// Distinct seeds give the two directions independent fault streams.
+		hwT = cosim.NewChaosTransport(hwT, *rc.Chaos)
+		boardT = cosim.NewChaosTransport(boardT, rc.Chaos.WithSeed(rc.Chaos.Seed+0x5eed))
+	}
+	if rc.Resilience != nil {
+		hwS := cosim.NewSessionTransport(hwT, *rc.Resilience)
+		boardS := cosim.NewSessionTransport(boardT, *rc.Resilience)
+		hwT, boardT = hwS, boardS
+		defer hwS.Close()
+		defer boardS.Close()
 	}
 
 	hw := cosim.NewHWEndpoint(hwT, rc.Mode)
