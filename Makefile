@@ -2,8 +2,14 @@
 
 GO      ?= go
 FUZZTIME ?= 10s
+BENCH_RUNS ?= 3
 
-.PHONY: all vet build test race fuzz-smoke ci
+# Lint tools are pinned by module path + version and run via `go run`,
+# so CI is reproducible without committing tool binaries or deps.
+STATICCHECK_MOD := honnef.co/go/tools/cmd/staticcheck@2025.1.1
+GOVULNCHECK_MOD := golang.org/x/vuln/cmd/govulncheck@v1.1.4
+
+.PHONY: all vet build test race fuzz-smoke bench-json bench-gate staticcheck govulncheck lint ci
 
 all: build
 
@@ -25,4 +31,35 @@ fuzz-smoke:
 	$(GO) test ./internal/cosim/ -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/cosim/ -run '^$$' -fuzz '^FuzzMsgRoundTrip$$' -fuzztime $(FUZZTIME)
 
-ci: vet build race fuzz-smoke
+# bench-json regenerates the miniature Fig.5/6/7 evaluation and writes
+# the machine-readable BENCH_cosim.json artifact CI gates against.
+bench-json:
+	$(GO) run ./cmd/cosim-bench -runs $(BENCH_RUNS) -v -out BENCH_cosim.json
+
+# bench-gate fails when any Fig.5 benchmark regressed >25% vs the
+# committed baseline (skips cleanly when no baseline is committed).
+bench-gate: bench-json
+	$(GO) run ./cmd/cosim-benchcmp -baseline BENCH_baseline.json -current BENCH_cosim.json
+
+staticcheck:
+	$(GO) run $(STATICCHECK_MOD) ./...
+
+govulncheck:
+	$(GO) run $(GOVULNCHECK_MOD) ./...
+
+# lint runs both pinned linters when they are fetchable (CI) and skips
+# cleanly offline: the repository must keep building and testing with no
+# network at all.
+lint:
+	@if $(GO) run $(STATICCHECK_MOD) -version >/dev/null 2>&1; then \
+		$(GO) run $(STATICCHECK_MOD) ./...; \
+	else \
+		echo "lint: staticcheck unavailable (offline); skipped"; \
+	fi
+	@if $(GO) run $(GOVULNCHECK_MOD) -version >/dev/null 2>&1; then \
+		$(GO) run $(GOVULNCHECK_MOD) ./...; \
+	else \
+		echo "lint: govulncheck unavailable (offline); skipped"; \
+	fi
+
+ci: vet build race fuzz-smoke lint

@@ -1,0 +1,177 @@
+// Command cosim-bench runs miniature versions of the paper's evaluation
+// benchmarks (Figures 5–7, plus a chaos/resilience point) and emits a
+// stable machine-readable BENCH_cosim.json:
+//
+//	cosim-bench -runs 3 -out BENCH_cosim.json
+//
+// Each benchmark executes one scaled-down co-simulation several times
+// and keeps the fastest run (the minimum is the least noisy wall-clock
+// estimator), reporting ns/op plus derived rates: CLOCK rendezvous per
+// wall-clock second, wire bytes per quantum, accuracy, and session
+// retransmits. The JSON is the artifact the CI regression gate
+// (cmd/cosim-benchcmp) compares against a committed baseline, so the
+// repository records a perf trajectory instead of an empty one.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/cosim"
+	"repro/internal/router"
+)
+
+// Result is one benchmark's measurement. Fields are flat and stable:
+// cosim-benchcmp and future tooling key on Name and read NsPerOp.
+type Result struct {
+	Name            string  `json:"name"`
+	Runs            int     `json:"runs"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	SyncsPerSec     float64 `json:"syncs_per_sec,omitempty"`
+	BytesPerQuantum float64 `json:"bytes_per_quantum,omitempty"`
+	AccuracyPct     float64 `json:"accuracy_pct,omitempty"`
+	Retransmits     uint64  `json:"retransmits,omitempty"`
+}
+
+// File is the BENCH_cosim.json schema.
+type File struct {
+	Schema     int      `json:"schema"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// bench is one named configuration to measure.
+type bench struct {
+	name string
+	run  func() (router.RunResult, error)
+}
+
+// cosimBench builds a co-simulation benchmark from config overrides.
+func cosimBench(name string, n int, tsync uint64, mutate func(*router.RunConfig)) bench {
+	return bench{name: name, run: func() (router.RunResult, error) {
+		rc := router.DefaultRunConfig()
+		rc.TB.PacketsPerPort = n / rc.TB.Ports
+		rc.TSync = tsync
+		if mutate != nil {
+			mutate(&rc)
+		}
+		res, err := router.RunCoSim(rc)
+		if err != nil {
+			return res, err
+		}
+		if res.Conservation != nil {
+			return res, res.Conservation
+		}
+		return res, nil
+	}}
+}
+
+// benches assembles the suite: the miniature Fig.5/6/7 axes mirrored
+// from the root bench_test.go, plus one chaos/resilience point so the
+// retransmit trajectory is recorded too.
+func benches() []bench {
+	var out []bench
+	// Fig.5 regime: sparse workload over TCP, sync cost dominates.
+	for _, n := range []int{20, 40, 80} {
+		for _, ts := range []uint64{1000, 10000} {
+			out = append(out, cosimBench(
+				fmt.Sprintf("Fig5/N=%d/Tsync=%d", n, ts), n, ts,
+				func(rc *router.RunConfig) {
+					rc.Transport = router.TransportTCP
+					rc.TB.Period = 10000
+				}))
+		}
+	}
+	// Fig.6 axis: overhead decay with T_sync over TCP, plus the
+	// unsynchronized loopback baseline.
+	for _, ts := range []uint64{1, 10, 100, 1000, 10000} {
+		out = append(out, cosimBench(
+			fmt.Sprintf("Fig6/Tsync=%d", ts), 40, ts,
+			func(rc *router.RunConfig) { rc.Transport = router.TransportTCP }))
+	}
+	out = append(out, bench{name: "Fig6/baseline=unsync", run: func() (router.RunResult, error) {
+		tbc := router.DefaultTBConfig()
+		tbc.PacketsPerPort = 40 / tbc.Ports
+		return router.RunLoopback(tbc)
+	}})
+	// Fig.7 axis: accuracy across the knee, deterministic in-process.
+	for _, ts := range []uint64{1000, 4000, 6000, 10000, 20000} {
+		out = append(out, cosimBench(fmt.Sprintf("Fig7/Tsync=%d", ts), 100, ts, nil))
+	}
+	// Chaos point: a faulty link healed by the session layer; the
+	// retransmit count is the tracked quantity.
+	out = append(out, cosimBench("Chaos/session", 40, 1000, func(rc *router.RunConfig) {
+		sc := cosim.UniformScenario(42, cosim.FaultProfile{Drop: 0.02, Duplicate: 0.02, Corrupt: 0.02})
+		rc.Chaos = &sc
+		sess := cosim.DefaultSessionConfig()
+		sess.RetransmitTimeout = 20 * time.Millisecond
+		rc.Resilience = &sess
+	}))
+	return out
+}
+
+func main() {
+	out := flag.String("out", "BENCH_cosim.json", "output file (- for stdout)")
+	runs := flag.Int("runs", 3, "measured runs per benchmark (fastest kept)")
+	verbose := flag.Bool("v", false, "print per-benchmark progress on stderr")
+	flag.Parse()
+	if *runs < 1 {
+		*runs = 1
+	}
+
+	file := File{Schema: 1, GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	for _, b := range benches() {
+		var best router.RunResult
+		var bestWall time.Duration
+		for i := 0; i < *runs; i++ {
+			start := time.Now()
+			res, err := b.run()
+			wall := time.Since(start)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cosim-bench: %s: %v\n", b.name, err)
+				os.Exit(1)
+			}
+			if bestWall == 0 || wall < bestWall {
+				best, bestWall = res, wall
+			}
+		}
+		r := Result{
+			Name:        b.name,
+			Runs:        *runs,
+			NsPerOp:     bestWall.Nanoseconds(),
+			AccuracyPct: 100 * best.Accuracy,
+			Retransmits: best.Link.Link.Retransmits,
+		}
+		if best.HW.SyncEvents > 0 {
+			r.SyncsPerSec = float64(best.HW.SyncEvents) / bestWall.Seconds()
+			r.BytesPerQuantum = float64(best.Link.BytesSent) / float64(best.HW.SyncEvents)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "cosim-bench: %-24s %12d ns/op  %8.1f syncs/s  acc=%.1f%%\n",
+				r.Name, r.NsPerOp, r.SyncsPerSec, r.AccuracyPct)
+		}
+		file.Benchmarks = append(file.Benchmarks, r)
+	}
+
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cosim-bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "cosim-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("cosim-bench: wrote %d benchmarks to %s\n", len(file.Benchmarks), *out)
+}

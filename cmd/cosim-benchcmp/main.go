@@ -1,0 +1,104 @@
+// Command cosim-benchcmp is the CI perf-regression gate: it compares a
+// freshly generated BENCH_cosim.json against a committed baseline and
+// fails when any gated benchmark slowed down by more than the allowed
+// factor.
+//
+//	cosim-benchcmp -baseline BENCH_baseline.json -current BENCH_cosim.json
+//
+// A missing baseline file is not an error — the gate prints a notice
+// and exits 0, so the pipeline works on branches that predate the
+// baseline (and the baseline can simply be deleted to re-bootstrap it
+// after a deliberate perf change or a runner-hardware change).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// benchFile mirrors the cosim-bench output schema (only the fields the
+// gate reads).
+type benchFile struct {
+	Schema     int `json:"schema"`
+	Benchmarks []struct {
+		Name    string `json:"name"`
+		NsPerOp int64  `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+func load(path string) (map[string]int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]int64, len(f.Benchmarks))
+	for _, b := range f.Benchmarks {
+		out[b.Name] = b.NsPerOp
+	}
+	return out, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline file")
+	current := flag.String("current", "BENCH_cosim.json", "freshly generated file")
+	prefix := flag.String("prefix", "Fig5/", "only gate benchmarks whose name has this prefix (empty = all)")
+	threshold := flag.Float64("threshold", 1.25, "fail when current/baseline ns/op exceeds this ratio")
+	flag.Parse()
+
+	base, err := load(*baseline)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("cosim-benchcmp: no baseline at %s; skipping regression gate\n", *baseline)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "cosim-benchcmp: %v\n", err)
+		os.Exit(1)
+	}
+	regressions := 0
+	compared := 0
+	// Iterate in the current file's order so the report is stable.
+	data, err := os.ReadFile(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cosim-benchcmp: %v\n", err)
+		os.Exit(1)
+	}
+	var ordered benchFile
+	if err := json.Unmarshal(data, &ordered); err != nil {
+		fmt.Fprintf(os.Stderr, "cosim-benchcmp: %s: %v\n", *current, err)
+		os.Exit(1)
+	}
+	for _, b := range ordered.Benchmarks {
+		if *prefix != "" && !strings.HasPrefix(b.Name, *prefix) {
+			continue
+		}
+		baseNs, ok := base[b.Name]
+		if !ok || baseNs <= 0 {
+			fmt.Printf("  %-28s %12d ns/op  (no baseline entry; skipped)\n", b.Name, b.NsPerOp)
+			continue
+		}
+		compared++
+		ratio := float64(b.NsPerOp) / float64(baseNs)
+		verdict := "ok"
+		if ratio > *threshold {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("  %-28s %12d -> %12d ns/op  (%.2fx)  %s\n", b.Name, baseNs, b.NsPerOp, ratio, verdict)
+	}
+	if compared == 0 {
+		fmt.Printf("cosim-benchcmp: no %q benchmarks shared with the baseline; nothing gated\n", *prefix)
+		return
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "cosim-benchcmp: %d benchmark(s) regressed beyond %.2fx\n", regressions, *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("cosim-benchcmp: %d benchmark(s) within %.2fx of baseline\n", compared, *threshold)
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/board"
 	"repro/internal/cosim"
+	"repro/internal/obs"
 	"repro/internal/router"
 )
 
@@ -21,7 +22,20 @@ func main() {
 	annotated := flag.Bool("annotated", false, "use analytic software timing instead of the ISS")
 	watchdog := flag.Uint64("watchdog", 0, "install a watchdog with this timeout in HW ticks (0 = none)")
 	tracePath := flag.String("trace", "", "write a protocol trace to this file")
+	debugAddr := flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. :6061)")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		dbg, err := obs.Serve(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cosim-board: %v\n", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Printf("cosim-board: debug server on http://%s (/metrics /metrics.json /healthz /debug/pprof)\n", dbg.Addr())
+	}
 
 	acfg := router.DefaultAppConfig()
 	if *annotated {
@@ -50,6 +64,9 @@ func main() {
 		tr = cosim.NewTraceTransport(tr, f)
 	}
 	ep := cosim.NewBoardEndpoint(tr)
+	if reg != nil {
+		ep.Observe(reg)
+	}
 	bs.Dev.Attach(ep)
 	fmt.Printf("cosim-board: connected to %s; OS in %v state, waiting for virtual ticks\n",
 		*connect, bs.Board.K.State())

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -26,11 +27,22 @@ func main() {
 	delay := flag.Duration("linkdelay", 0, "extra per-message link latency for fig 6/8 and ablations (e.g. 500us)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	verbose := flag.Bool("v", false, "print per-run progress on stderr")
+	debugAddr := flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. :6060)")
 	flag.Parse()
 
 	opt := experiments.Options{Quick: *quick, LinkDelay: *delay}
 	if *verbose {
 		opt.Progress = os.Stderr
+	}
+	if *debugAddr != "" {
+		opt.Obs = obs.NewRegistry()
+		dbg, err := obs.Serve(*debugAddr, opt.Obs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cosim-experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "cosim-experiments: debug server on http://%s (/metrics /metrics.json /healthz /debug/pprof)\n", dbg.Addr())
 	}
 
 	type gen struct {

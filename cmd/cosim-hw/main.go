@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/cosim"
 	"repro/internal/hdlsim"
+	"repro/internal/obs"
 	"repro/internal/router"
 )
 
@@ -27,7 +28,20 @@ func main() {
 	seed := flag.Int64("seed", 1, "traffic seed")
 	pipelined := flag.Bool("pipelined", false, "overlap board and simulator quanta")
 	tracePath := flag.String("trace", "", "write a protocol trace to this file")
+	debugAddr := flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. :6060)")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		dbg, err := obs.Serve(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cosim-hw: %v\n", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Printf("cosim-hw: debug server on http://%s (/metrics /metrics.json /healthz /debug/pprof)\n", dbg.Addr())
+	}
 
 	tbc := router.DefaultTBConfig()
 	tbc.PacketsPerPort = *n / tbc.Ports
@@ -66,6 +80,9 @@ func main() {
 		mode = cosim.SyncPipelined
 	}
 	ep := cosim.NewHWEndpoint(tr, mode)
+	if reg != nil {
+		ep.Observe(reg)
+	}
 	stats, err := tb.Sim.DriverSimulate(tb.Clk, ep, hdlsim.DriverConfig{
 		TSync:       *tsync,
 		TotalCycles: tbc.WorkCycles() + 8**tsync + 20000,

@@ -39,6 +39,7 @@ type BoardEndpoint struct {
 	tr       Transport
 	dataSent uint32
 	m        Metrics
+	lv       *live // optional live instruments, set by Observe
 }
 
 // NewBoardEndpoint wraps a transport for the board side.
@@ -60,7 +61,8 @@ func (ep *BoardEndpoint) Metrics() *Metrics {
 func (ep *BoardEndpoint) WaitGrant() (Grant, error) {
 	t0 := time.Now()
 	m, err := ep.tr.Recv(ChanClock)
-	ep.m.SyncWait += time.Since(t0)
+	wait := time.Since(t0)
+	ep.m.SyncWait += wait
 	if err != nil {
 		return Grant{}, err
 	}
@@ -74,12 +76,15 @@ func (ep *BoardEndpoint) WaitGrant() (Grant, error) {
 	g := Grant{Ticks: m.Ticks, HWCycle: m.HWCycle}
 	ep.m.SyncEvents++
 	ep.m.TicksGranted += m.Ticks
+	ep.lv.observeSync(wait)
+	ep.lv.addTicks(m.Ticks)
 	for i := uint32(0); i < m.DataCount; i++ {
 		dm, err := ep.tr.Recv(ChanData)
 		if err != nil {
 			return Grant{}, err
 		}
 		ep.m.DataRecv++
+		ep.lv.incDataRecv()
 		blk := RegBlock{Addr: dm.Addr, Words: dm.Words}
 		switch dm.Type {
 		case MTDataWrite:
@@ -99,6 +104,7 @@ func (ep *BoardEndpoint) WaitGrant() (Grant, error) {
 			return Grant{}, fmt.Errorf("cosim: expected interrupt on INT, got %v", im.Type)
 		}
 		ep.m.IntRecv++
+		ep.lv.incIntRecv()
 		g.Interrupts = append(g.Interrupts, im.IRQ)
 	}
 	return g, nil
@@ -111,6 +117,8 @@ func (ep *BoardEndpoint) PostWrite(addr uint32, words []uint32) error {
 	ep.dataSent++
 	ep.m.DataSent++
 	ep.m.BytesSent += uint64(m.WireSize())
+	ep.lv.incDataSent()
+	ep.lv.addBytes(uint64(m.WireSize()))
 	return ep.tr.Send(ChanData, m)
 }
 
@@ -122,6 +130,8 @@ func (ep *BoardEndpoint) PostReadReq(addr, count uint32) error {
 	ep.dataSent++
 	ep.m.DataSent++
 	ep.m.BytesSent += uint64(m.WireSize())
+	ep.lv.incDataSent()
+	ep.lv.addBytes(uint64(m.WireSize()))
 	return ep.tr.Send(ChanData, m)
 }
 
@@ -137,6 +147,7 @@ func (ep *BoardEndpoint) Ack(boardCycle, swTick uint64) error {
 	}
 	ep.dataSent = 0
 	ep.m.BytesSent += uint64(m.WireSize())
+	ep.lv.addBytes(uint64(m.WireSize()))
 	return ep.tr.Send(ChanClock, m)
 }
 
@@ -145,5 +156,6 @@ func (ep *BoardEndpoint) FinishAck(boardCycle, swTick uint64) error {
 	defer ep.m.StopClock()
 	m := Msg{Type: MTFinishAck, BoardCycle: boardCycle, SWTick: swTick}
 	ep.m.BytesSent += uint64(m.WireSize())
+	ep.lv.addBytes(uint64(m.WireSize()))
 	return ep.tr.Send(ChanClock, m)
 }

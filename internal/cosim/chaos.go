@@ -232,5 +232,8 @@ func (c *ChaosTransport) LinkStats() LinkStats {
 	return LinkStats{FramesInjured: c.ChaosStats().Injured()}
 }
 
+// Unwrap implements Unwrapper.
+func (c *ChaosTransport) Unwrap() Transport { return c.inner }
+
 var _ Transport = (*ChaosTransport)(nil)
 var _ recvTimeouter = (*ChaosTransport)(nil)

@@ -39,3 +39,6 @@ func (d *DelayTransport) TryRecv(ch Channel) (Msg, bool, error) { return d.inner
 
 // Close implements Transport.
 func (d *DelayTransport) Close() error { return d.inner.Close() }
+
+// Unwrap implements Unwrapper.
+func (d *DelayTransport) Unwrap() Transport { return d.inner }

@@ -63,7 +63,8 @@ type HWEndpoint struct {
 	// crashed or wedged board instead of hanging the simulation.
 	AckTimeout time.Duration
 
-	m Metrics
+	m  Metrics
+	lv *live // optional live instruments, set by Observe
 }
 
 // NewHWEndpoint wraps a transport for the simulator side.
@@ -112,6 +113,8 @@ func (ep *HWEndpoint) SendData(d hdlsim.DataMsg) error {
 	ep.dataSent++
 	ep.m.DataSent++
 	ep.m.BytesSent += uint64(m.WireSize())
+	ep.lv.incDataSent()
+	ep.lv.addBytes(uint64(m.WireSize()))
 	return ep.tr.Send(ChanData, m)
 }
 
@@ -121,6 +124,8 @@ func (ep *HWEndpoint) SendInterrupt(irq uint8) error {
 	ep.intSent++
 	ep.m.IntSent++
 	ep.m.BytesSent += uint64(m.WireSize())
+	ep.lv.incIntSent()
+	ep.lv.addBytes(uint64(m.WireSize()))
 	return ep.tr.Send(ChanInt, m)
 }
 
@@ -136,12 +141,14 @@ func (ep *HWEndpoint) sendGrant(ticks, hwCycle uint64) error {
 	}
 	ep.dataSent, ep.intSent = 0, 0
 	ep.m.BytesSent += uint64(grant.WireSize())
+	ep.lv.addBytes(uint64(grant.WireSize()))
 	if err := ep.tr.Send(ChanClock, grant); err != nil {
 		return err
 	}
 	ep.outstanding++
 	ep.m.SyncEvents++
 	ep.m.TicksGranted += ticks
+	ep.lv.addTicks(ticks)
 	return nil
 }
 
@@ -170,7 +177,9 @@ func (ep *HWEndpoint) Sync(ticks, hwCycle uint64) (uint64, error) {
 func (ep *HWEndpoint) consumeAck() error {
 	t0 := time.Now()
 	ack, err := RecvTimeout(ep.tr, ChanClock, ep.AckTimeout)
-	ep.m.SyncWait += time.Since(t0)
+	wait := time.Since(t0)
+	ep.m.SyncWait += wait
+	ep.lv.observeSync(wait)
 	if err != nil {
 		return fmt.Errorf("cosim: waiting for board acknowledgement: %w", err)
 	}
@@ -186,6 +195,7 @@ func (ep *HWEndpoint) consumeAck() error {
 			return err
 		}
 		ep.m.DataRecv++
+		ep.lv.incDataRecv()
 		conv, err := toKernelMsg(dm)
 		if err != nil {
 			return err
@@ -220,6 +230,7 @@ func (ep *HWEndpoint) Finish(hwCycle uint64) error {
 	}
 	fin := Msg{Type: MTFinish, HWCycle: hwCycle}
 	ep.m.BytesSent += uint64(fin.WireSize())
+	ep.lv.addBytes(uint64(fin.WireSize()))
 	if err := ep.tr.Send(ChanClock, fin); err != nil {
 		return err
 	}

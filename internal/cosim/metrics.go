@@ -34,9 +34,20 @@ func (m *Metrics) StopClock() {
 	}
 }
 
-// harvestLink copies resilience counters from tr if it exposes them.
+// harvestLink copies resilience counters from the first transport in
+// the wrapper chain that exposes them. Walking through Unwrap matters:
+// a TraceTransport (or any other decorator) around a SessionTransport
+// must not silently zero the link counters.
 func (m *Metrics) harvestLink(tr Transport) {
-	if ls, ok := tr.(linkStatser); ok {
-		m.Link = ls.LinkStats()
+	for t := tr; t != nil; {
+		if ls, ok := t.(linkStatser); ok {
+			m.Link = ls.LinkStats()
+			return
+		}
+		u, ok := t.(Unwrapper)
+		if !ok {
+			return
+		}
+		t = u.Unwrap()
 	}
 }

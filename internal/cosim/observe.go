@@ -1,0 +1,164 @@
+package cosim
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metric names published by the cosim layer. Endpoint metrics carry a
+// side label ("hw" or "board"); message counters add chan and dir.
+const (
+	// MetricSyncRendezvous is the per-quantum CLOCK rendezvous latency
+	// histogram: the wall-clock time one side spent blocked waiting for
+	// its peer at a quantum boundary.
+	MetricSyncRendezvous = "cosim_sync_rendezvous_seconds"
+	// MetricSyncEvents counts CLOCK rendezvous performed.
+	MetricSyncEvents = "cosim_sync_events_total"
+	// MetricTicksGranted counts virtual ticks granted (hw) / received
+	// (board).
+	MetricTicksGranted = "cosim_ticks_granted_total"
+	// MetricMsgs counts protocol messages by side, chan (data|int) and
+	// dir (sent|recv).
+	MetricMsgs = "cosim_msgs_total"
+	// MetricBytesSent counts wire bytes sent (frames included).
+	MetricBytesSent = "cosim_bytes_sent_total"
+)
+
+// live is the optional set of hot-path instruments of one endpoint. A
+// nil *live disables publication at the cost of one pointer test per
+// event, so endpoints without a registry pay nothing else.
+type live struct {
+	syncLat   *obs.Histogram
+	syncs     *obs.Counter
+	ticks     *obs.Counter
+	dataSent  *obs.Counter
+	dataRecv  *obs.Counter
+	intSent   *obs.Counter
+	intRecv   *obs.Counter
+	bytesSent *obs.Counter
+}
+
+func newLive(reg *obs.Registry, side string) *live {
+	return &live{
+		syncLat:   reg.Histogram(obs.Name(MetricSyncRendezvous, "side", side), nil),
+		syncs:     reg.Counter(obs.Name(MetricSyncEvents, "side", side)),
+		ticks:     reg.Counter(obs.Name(MetricTicksGranted, "side", side)),
+		dataSent:  reg.Counter(obs.Name(MetricMsgs, "side", side, "chan", "data", "dir", "sent")),
+		dataRecv:  reg.Counter(obs.Name(MetricMsgs, "side", side, "chan", "data", "dir", "recv")),
+		intSent:   reg.Counter(obs.Name(MetricMsgs, "side", side, "chan", "int", "dir", "sent")),
+		intRecv:   reg.Counter(obs.Name(MetricMsgs, "side", side, "chan", "int", "dir", "recv")),
+		bytesSent: reg.Counter(obs.Name(MetricBytesSent, "side", side)),
+	}
+}
+
+func (l *live) observeSync(wait time.Duration) {
+	if l != nil {
+		l.syncLat.ObserveDuration(wait)
+		l.syncs.Inc()
+	}
+}
+
+func (l *live) addTicks(n uint64) {
+	if l != nil {
+		l.ticks.Add(n)
+	}
+}
+
+func (l *live) incDataSent() {
+	if l != nil {
+		l.dataSent.Inc()
+	}
+}
+
+func (l *live) incDataRecv() {
+	if l != nil {
+		l.dataRecv.Inc()
+	}
+}
+
+func (l *live) incIntSent() {
+	if l != nil {
+		l.intSent.Inc()
+	}
+}
+
+func (l *live) incIntRecv() {
+	if l != nil {
+		l.intRecv.Inc()
+	}
+}
+
+func (l *live) addBytes(n uint64) {
+	if l != nil {
+		l.bytesSent.Add(n)
+	}
+}
+
+// Observe publishes the endpoint's hot-path counters and the CLOCK
+// rendezvous latency histogram into reg under side="hw". Call it before
+// the run starts; it is not safe to call concurrently with the run.
+func (ep *HWEndpoint) Observe(reg *obs.Registry) {
+	ep.lv = newLive(reg, "hw")
+	observeTransportStack(reg, ep.tr, "hw")
+}
+
+// Observe publishes the endpoint's hot-path counters and the CLOCK
+// rendezvous latency histogram into reg under side="board". Call it
+// before the run starts; it is not safe to call concurrently with the
+// run.
+func (ep *BoardEndpoint) Observe(reg *obs.Registry) {
+	ep.lv = newLive(reg, "board")
+	observeTransportStack(reg, ep.tr, "board")
+}
+
+// observeTransportStack walks a wrapper chain and publishes the
+// resilience counters of the first session layer it finds.
+func observeTransportStack(reg *obs.Registry, tr Transport, side string) {
+	for t := tr; t != nil; {
+		if s, ok := t.(*SessionTransport); ok {
+			s.Observe(reg, side)
+			return
+		}
+		u, ok := t.(Unwrapper)
+		if !ok {
+			return
+		}
+		t = u.Unwrap()
+	}
+}
+
+// Observe registers scrape-time readers over the session's resilience
+// counters, so a scrape harvests them incrementally from the live
+// atomics instead of waiting for the post-run Metrics harvest.
+func (s *SessionTransport) Observe(reg *obs.Registry, side string) {
+	name := func(base string) string { return obs.Name(base, "side", side) }
+	reg.CounterFunc(name("cosim_session_retransmits_total"), s.retransmits.Load)
+	reg.CounterFunc(name("cosim_session_reconnects_total"), s.reconnects.Load)
+	reg.CounterFunc(name("cosim_session_heartbeats_sent_total"), s.hbSent.Load)
+	reg.CounterFunc(name("cosim_session_heartbeats_missed_total"), s.hbMissed.Load)
+	reg.CounterFunc(name("cosim_session_dups_dropped_total"), s.dupsDropped.Load)
+	reg.CounterFunc(name("cosim_session_crc_dropped_total"), s.crcDropped.Load)
+	reg.CounterFunc(name("cosim_session_gaps_seen_total"), s.gapsSeen.Load)
+	reg.CounterFunc(name("cosim_session_aliens_dropped_total"), s.aliensDropped.Load)
+	reg.CounterFunc(name("cosim_session_frames_injured_total"), func() uint64 {
+		return s.LinkStats().FramesInjured
+	})
+	reg.GaugeFunc(name("cosim_session_unacked_frames"), func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		n := 0
+		for ch := range s.send {
+			n += len(s.send[ch].unacked)
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc(name("cosim_session_reconnecting"), func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.reconnecting {
+			return 1
+		}
+		return 0
+	})
+}

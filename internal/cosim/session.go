@@ -725,5 +725,13 @@ func (s *SessionTransport) LinkStats() LinkStats {
 	return ls
 }
 
+// Unwrap implements Unwrapper, returning the current inner transport
+// (which changes across reconnects).
+func (s *SessionTransport) Unwrap() Transport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner
+}
+
 var _ Transport = (*SessionTransport)(nil)
 var _ recvTimeouter = (*SessionTransport)(nil)

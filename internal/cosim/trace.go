@@ -63,6 +63,9 @@ func (t *TraceTransport) TryRecv(ch Channel) (Msg, bool, error) {
 // Close implements Transport.
 func (t *TraceTransport) Close() error { return t.inner.Close() }
 
+// Unwrap implements Unwrapper.
+func (t *TraceTransport) Unwrap() Transport { return t.inner }
+
 // SummarizeMsg renders a message as a one-line, field-labelled summary.
 func SummarizeMsg(m Msg) string {
 	switch m.Type {

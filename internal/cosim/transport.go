@@ -66,6 +66,15 @@ type Transport interface {
 	Close() error
 }
 
+// Unwrapper is implemented by decorating transports (trace, delay,
+// chaos, session) so capability probes — most importantly the
+// link-stats harvest in Metrics — can walk the wrapper chain instead of
+// seeing only the outermost layer.
+type Unwrapper interface {
+	// Unwrap returns the next transport down the stack.
+	Unwrap() Transport
+}
+
 // chanPair is one direction of an in-process link.
 type chanPair struct {
 	ch [numChannels]chan Msg

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cosim"
+	"repro/internal/obs"
 	"repro/internal/router"
 )
 
@@ -20,12 +21,24 @@ type Options struct {
 	LinkDelay time.Duration
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
+	// Obs, when non-nil, receives live metrics from every co-simulation
+	// run of the sweep (see router.RunConfig.Obs); cosim-experiments
+	// wires it to the -debug-addr server.
+	Obs *obs.Registry
 }
 
 func (o Options) log(format string, args ...any) {
 	if o.Progress != nil {
 		fmt.Fprintf(o.Progress, format+"\n", args...)
 	}
+}
+
+// runConfig is DefaultRunConfig with the sweep-wide observability
+// registry attached.
+func (o Options) runConfig() router.RunConfig {
+	rc := router.DefaultRunConfig()
+	rc.Obs = o.Obs
+	return rc
 }
 
 // fig5Delay is the emulated link latency for Figure 5. The overhead
@@ -59,7 +72,7 @@ func Fig5(opt Options) (*Table, error) {
 		cells := []any{n}
 		var first, last time.Duration
 		for i, ts := range Fig5TSyncs {
-			rc := router.DefaultRunConfig()
+			rc := opt.runConfig()
 			rc.TB.PacketsPerPort = n / rc.TB.Ports
 			rc.TB.Period = period
 			rc.TSync = ts
@@ -136,7 +149,7 @@ func Fig6(opt Options) (*Table, error) {
 	for _, ts := range tsyncs {
 		cells := []any{ts}
 		for _, n := range ns {
-			rc := router.DefaultRunConfig()
+			rc := opt.runConfig()
 			rc.TB.PacketsPerPort = n / rc.TB.Ports
 			rc.TSync = ts
 			rc.Transport = router.TransportTCP
@@ -184,7 +197,7 @@ func Fig7(opt Options) (*Table, error) {
 	for _, ts := range tsyncs {
 		cells := []any{ts}
 		for _, n := range ns {
-			res, err := accuracyRun(n, ts)
+			res, err := accuracyRun(opt, n, ts)
 			if err != nil {
 				return nil, fmt.Errorf("fig7 N=%d Tsync=%d: %w", n, ts, err)
 			}
@@ -202,8 +215,8 @@ func Fig7(opt Options) (*Table, error) {
 }
 
 // accuracyRun executes one deterministic accuracy point.
-func accuracyRun(n int, tsync uint64) (router.RunResult, error) {
-	rc := router.DefaultRunConfig()
+func accuracyRun(opt Options, n int, tsync uint64) (router.RunResult, error) {
+	rc := opt.runConfig()
 	rc.TB.PacketsPerPort = n / rc.TB.Ports
 	rc.TSync = tsync
 	rc.Transport = router.TransportInProc
@@ -225,18 +238,18 @@ func Fig8(opt Options) (*Table, error) {
 		Header: []string{"Tsync", "accuracy", "wall[s]", "speedup_vs_lockstep", "quality=acc*speedup"},
 	}
 	// Lockstep reference for the speedup axis.
-	ref, err := wallRun(n, 1, opt.LinkDelay)
+	ref, err := wallRun(opt, n, 1, opt.LinkDelay)
 	if err != nil {
 		return nil, err
 	}
 	opt.log("fig8: lockstep ref %v", ref)
 	bestQ, bestTS := 0.0, uint64(0)
 	for _, ts := range tsyncs {
-		acc, err := accuracyRun(n, ts)
+		acc, err := accuracyRun(opt, n, ts)
 		if err != nil {
 			return nil, err
 		}
-		wall, err := wallRun(n, ts, opt.LinkDelay)
+		wall, err := wallRun(opt, n, ts, opt.LinkDelay)
 		if err != nil {
 			return nil, err
 		}
@@ -254,8 +267,8 @@ func Fig8(opt Options) (*Table, error) {
 	return t, nil
 }
 
-func wallRun(n int, tsync uint64, delay time.Duration) (router.RunResult, error) {
-	rc := router.DefaultRunConfig()
+func wallRun(opt Options, n int, tsync uint64, delay time.Duration) (router.RunResult, error) {
+	rc := opt.runConfig()
 	rc.TB.PacketsPerPort = n / rc.TB.Ports
 	rc.TSync = tsync
 	rc.Transport = router.TransportTCP
@@ -272,14 +285,14 @@ func AblationPolicies(opt Options) (*Table, error) {
 		Header: []string{"policy", "accuracy", "wall[s]", "sync events"},
 	}
 	const n = 100
-	lock, err := wallRun(n, 1, opt.LinkDelay)
+	lock, err := wallRun(opt, n, 1, opt.LinkDelay)
 	if err != nil {
 		return nil, err
 	}
 	t.Append("lockstep (Tsync=1)", fmt.Sprintf("%.3f", lock.Accuracy),
 		fmt.Sprintf("%.3f", lock.Wall.Seconds()), lock.HW.SyncEvents)
 	for _, ts := range []uint64{1000, 5000, 20000} {
-		r, err := wallRun(n, ts, opt.LinkDelay)
+		r, err := wallRun(opt, n, ts, opt.LinkDelay)
 		if err != nil {
 			return nil, err
 		}
@@ -307,7 +320,7 @@ func AblationTiming(opt Options) (*Table, error) {
 		Header: []string{"Tsync", "accuracy(ISS)", "accuracy(annotated)", "ISS kcycles"},
 	}
 	for _, ts := range []uint64{2000, 5000, 8000, 15000} {
-		rcI := router.DefaultRunConfig()
+		rcI := opt.runConfig()
 		rcI.TB.PacketsPerPort = 25
 		rcI.TSync = ts
 		resI, err := router.RunCoSim(rcI)
@@ -336,7 +349,7 @@ func AblationTransport(opt Options) (*Table, error) {
 		Header: []string{"transport", "sync events", "wall[s]", "us/sync"},
 	}
 	for _, tr := range []router.TransportKind{router.TransportInProc, router.TransportTCP} {
-		rc := router.DefaultRunConfig()
+		rc := opt.runConfig()
 		rc.TB.PacketsPerPort = 5
 		rc.TSync = 1
 		rc.Transport = tr
@@ -361,7 +374,7 @@ func AblationMultiBoard(opt Options) (*Table, error) {
 		Header: []string{"boards", "accuracy", "fifo drops", "per-board packets"},
 	}
 	mkCfg := func() router.RunConfig {
-		rc := router.DefaultRunConfig()
+		rc := opt.runConfig()
 		rc.TB.PacketsPerPort = 50
 		rc.TSync = 2000
 		rc.AppCfg.Timing = router.TimingAnnotated
@@ -401,7 +414,7 @@ func AblationSyncMode(opt Options) (*Table, error) {
 	}
 	for _, ts := range []uint64{1000, 4000, 8000} {
 		for _, mode := range []cosim.SyncMode{cosim.SyncAlternating, cosim.SyncPipelined} {
-			rc := router.DefaultRunConfig()
+			rc := opt.runConfig()
 			rc.TB.PacketsPerPort = 25
 			rc.TSync = ts
 			rc.Transport = router.TransportTCP

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Metrics are sorted by base name then label
+// set, with one # TYPE header per base name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	names, metrics := r.snapshot()
+	lastBase := ""
+	for _, name := range names {
+		base, labels := splitName(name)
+		m := metrics[name]
+		if base != lastBase {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, m.promKind()); err != nil {
+				return err
+			}
+			lastBase = base
+		}
+		var err error
+		switch v := m.(type) {
+		case *Counter:
+			_, err = fmt.Fprintf(w, "%s %d\n", name, v.Value())
+		case counterFunc:
+			_, err = fmt.Fprintf(w, "%s %d\n", name, v.fn())
+		case *Gauge:
+			_, err = fmt.Fprintf(w, "%s %s\n", name, formatFloat(v.Value()))
+		case gaugeFunc:
+			_, err = fmt.Fprintf(w, "%s %s\n", name, formatFloat(v.fn()))
+		case *Histogram:
+			err = writePromHistogram(w, base, labels, v)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one histogram: cumulative _bucket series
+// with the le label appended to the metric's own labels, then _sum and
+// _count.
+func writePromHistogram(w io.Writer, base, labels string, h *Histogram) error {
+	withLE := func(le string) string {
+		if labels == "" {
+			return fmt.Sprintf("%s_bucket{le=%q}", base, le)
+		}
+		return fmt.Sprintf("%s_bucket{%s,le=%q}", base, labels, le)
+	}
+	suffixed := func(suffix string) string {
+		if labels == "" {
+			return base + suffix
+		}
+		return base + suffix + "{" + labels + "}"
+	}
+	cum := uint64(0)
+	for i, ub := range h.upper {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s %d\n", withLE(formatFloat(ub)), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.upper)].Load()
+	if _, err := fmt.Fprintf(w, "%s %d\n", withLE("+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n", suffixed("_sum"), formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", suffixed("_count"), cum)
+	return err
+}
+
+// HistogramJSON is the JSON shape of one histogram snapshot.
+type HistogramJSON struct {
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Buckets map[string]uint64 `json:"buckets"` // upper bound → cumulative count
+}
+
+// SnapshotJSON is the JSON shape of a full registry snapshot.
+type SnapshotJSON struct {
+	Counters   map[string]uint64        `json:"counters"`
+	Gauges     map[string]float64       `json:"gauges"`
+	Histograms map[string]HistogramJSON `json:"histograms"`
+}
+
+// Snapshot captures every metric's current value. Map keys are the full
+// registered names (labels included); encoding/json sorts them, so the
+// serialized form is stable.
+func (r *Registry) Snapshot() SnapshotJSON {
+	names, metrics := r.snapshot()
+	out := SnapshotJSON{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramJSON{},
+	}
+	for _, name := range names {
+		switch v := metrics[name].(type) {
+		case *Counter:
+			out.Counters[name] = v.Value()
+		case counterFunc:
+			out.Counters[name] = v.fn()
+		case *Gauge:
+			out.Gauges[name] = v.Value()
+		case gaugeFunc:
+			out.Gauges[name] = v.fn()
+		case *Histogram:
+			hj := HistogramJSON{Count: v.Count(), Sum: v.Sum(), Buckets: map[string]uint64{}}
+			cum := uint64(0)
+			for i, ub := range v.upper {
+				cum += v.counts[i].Load()
+				hj.Buckets[formatFloat(ub)] = cum
+			}
+			hj.Buckets["+Inf"] = v.Count()
+			out.Histograms[name] = hj
+		}
+	}
+	return out
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// String renders the Prometheus exposition; it exists for debugging and
+// tests.
+func (r *Registry) String() string {
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	return b.String()
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestName(t *testing.T) {
+	if got := Name("m"); got != "m" {
+		t.Fatalf("Name no labels: %q", got)
+	}
+	if got := Name("m", "a", "1", "b", "x y"); got != `m{a="1",b="x y"}` {
+		t.Fatalf("Name labels: %q", got)
+	}
+	base, labels := splitName(`m{a="1"}`)
+	if base != "m" || labels != `a="1"` {
+		t.Fatalf("splitName: %q %q", base, labels)
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("c_total"); again != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", g.Value())
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic registering counter name as gauge")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)              // bucket le=0.001
+	h.Observe(0.001)               // le=0.001 (inclusive upper bound)
+	h.Observe(0.05)                // le=0.1
+	h.ObserveDuration(time.Second) // +Inf
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if want := 0.0005 + 0.001 + 0.05 + 1; math.Abs(h.Sum()-want) > 1e-12 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+	text := r.String()
+	for _, line := range []string{
+		`h_seconds_bucket{le="0.001"} 2`,
+		`h_seconds_bucket{le="0.01"} 2`,
+		`h_seconds_bucket{le="0.1"} 3`,
+		`h_seconds_bucket{le="+Inf"} 4`,
+		`h_seconds_count 4`,
+	} {
+		if !strings.Contains(text, line) {
+			t.Fatalf("exposition missing %q:\n%s", line, text)
+		}
+	}
+}
+
+// TestPrometheusGolden pins the full exposition format: ordering, TYPE
+// headers, label rendering, histogram suffixes.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Name("msgs_total", "chan", "data")).Add(3)
+	r.Counter(Name("msgs_total", "chan", "clock")).Add(7)
+	r.Gauge("active_runs").Set(1)
+	r.CounterFunc("harvested_total", func() uint64 { return 11 })
+	h := r.Histogram(Name("lat_seconds", "side", "hw"), []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(2)
+
+	want := `# TYPE active_runs gauge
+active_runs 1
+# TYPE harvested_total counter
+harvested_total 11
+# TYPE lat_seconds histogram
+lat_seconds_bucket{side="hw",le="0.5"} 1
+lat_seconds_bucket{side="hw",le="1"} 1
+lat_seconds_bucket{side="hw",le="+Inf"} 2
+lat_seconds_sum{side="hw"} 2.25
+lat_seconds_count{side="hw"} 2
+# TYPE msgs_total counter
+msgs_total{chan="clock"} 7
+msgs_total{chan="data"} 3
+`
+	if got := r.String(); got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestJSONSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(2)
+	r.Gauge("g").Set(0.5)
+	r.GaugeFunc("gf", func() float64 { return 9 })
+	r.Histogram("h", []float64{1}).Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var snap SnapshotJSON
+	if err := json.Unmarshal([]byte(sb.String()), &snap); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if snap.Counters["c"] != 2 || snap.Gauges["g"] != 0.5 || snap.Gauges["gf"] != 9 {
+		t.Fatalf("snapshot values wrong: %+v", snap)
+	}
+	hj, ok := snap.Histograms["h"]
+	if !ok || hj.Count != 1 || hj.Buckets["1"] != 1 || hj.Buckets["+Inf"] != 1 {
+		t.Fatalf("histogram snapshot wrong: %+v", hj)
+	}
+}
+
+// TestConcurrentHammer exercises every instrument from many goroutines
+// while a scraper reads the exposition, and checks the final totals.
+// Run under -race it is the registry's thread-safety proof.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	const (
+		workers = 8
+		iters   = 2000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent scraper
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.String()
+				var sb strings.Builder
+				_ = r.WriteJSON(&sb)
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("hammer_total")
+			g := r.Gauge("hammer_gauge")
+			h := r.Histogram("hammer_seconds", nil)
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%10) * 1e-4)
+			}
+		}(w)
+	}
+	// Unblock the scraper once the workers are done, then join everyone.
+	go func() {
+		defer close(stop)
+		for r.Counter("hammer_total").Value() < workers*iters {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+
+	if got := r.Counter("hammer_total").Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := r.Gauge("hammer_gauge").Value(); got != workers*iters {
+		t.Fatalf("gauge = %v, want %d", got, workers*iters)
+	}
+	if got := r.Histogram("hammer_seconds", nil).Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+}

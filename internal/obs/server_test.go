@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// get fetches path from the test server and returns status + body.
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(Name("cosim_msgs_total", "chan", "data")).Add(42)
+	reg.Histogram("cosim_sync_rendezvous_seconds", nil).Observe(0.002)
+
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	if code, body := get(t, srv, "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	for _, want := range []string{
+		`cosim_msgs_total{chan="data"} 42`,
+		"# TYPE cosim_sync_rendezvous_seconds histogram",
+		"cosim_sync_rendezvous_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, srv, "/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json: status %d", code)
+	}
+	var snap SnapshotJSON
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json not JSON: %v", err)
+	}
+	if snap.Counters[`cosim_msgs_total{chan="data"}`] != 42 {
+		t.Fatalf("/metrics.json wrong counter: %+v", snap.Counters)
+	}
+
+	if code, body := get(t, srv, "/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: %d", code)
+	}
+}
+
+func TestServeBindsAndCloses(t *testing.T) {
+	reg := NewRegistry()
+	s, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/healthz")
+	if err != nil {
+		t.Fatalf("GET healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/healthz"); err == nil {
+		t.Fatal("server still reachable after Close")
+	}
+}

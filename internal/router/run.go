@@ -7,6 +7,7 @@ import (
 	"repro/internal/board"
 	"repro/internal/cosim"
 	"repro/internal/hdlsim"
+	"repro/internal/obs"
 )
 
 // TransportKind selects how the two sides of a co-simulation run talk.
@@ -50,6 +51,11 @@ type RunConfig struct {
 	// cosim.SessionTransport (sequence numbers, acks, retransmission),
 	// making the run survive chaos faults with identical results.
 	Resilience *cosim.SessionConfig
+	// Obs, when non-nil, receives live metrics for the run: per-quantum
+	// CLOCK rendezvous histograms and channel counters from both
+	// endpoints, session resilience counters, and per-run router gauges.
+	// Scrape it (see internal/obs) while the run is alive.
+	Obs *obs.Registry
 }
 
 // DefaultRunConfig assembles the experiment defaults.
@@ -103,7 +109,25 @@ func (r RunResult) String() string {
 // DriverSimulate on the calling goroutine, the virtual board on a second
 // goroutine, linked by the chosen transport. It returns when the workload
 // is injected and drained (or the cycle budget runs out).
-func RunCoSim(rc RunConfig) (RunResult, error) {
+func RunCoSim(rc RunConfig) (result RunResult, err error) {
+	if rc.Obs != nil {
+		rc.Obs.Counter("router_runs_started_total").Inc()
+		active := rc.Obs.Gauge("router_active_runs")
+		active.Add(1)
+		defer func() {
+			active.Add(-1)
+			if err != nil {
+				rc.Obs.Counter("router_runs_failed_total").Inc()
+				return
+			}
+			rc.Obs.Counter("router_runs_completed_total").Inc()
+			rc.Obs.Gauge("router_last_accuracy_pct").Set(100 * result.Accuracy)
+			rc.Obs.Gauge("router_last_wall_seconds").Set(result.Wall.Seconds())
+			rc.Obs.Gauge("router_last_generated_packets").Set(float64(result.Generated))
+			rc.Obs.Gauge("router_last_sync_events").Set(float64(result.HW.SyncEvents))
+			rc.Obs.Gauge("router_last_tsync").Set(float64(result.TSync))
+		}()
+	}
 	res := RunResult{TSync: rc.TSync, TransportKind: rc.Transport, Mode: rc.Mode}
 	tb := BuildTestbench(rc.TB)
 	bs, err := BuildBoardSide(rc.BoardCfg, rc.AppCfg)
@@ -156,6 +180,10 @@ func RunCoSim(rc RunConfig) (RunResult, error) {
 
 	hw := cosim.NewHWEndpoint(hwT, rc.Mode)
 	bep := cosim.NewBoardEndpoint(boardT)
+	if rc.Obs != nil {
+		hw.Observe(rc.Obs)
+		bep.Observe(rc.Obs)
+	}
 	bs.Dev.Attach(bep)
 
 	boardDone := make(chan error, 1)

@@ -1,0 +1,150 @@
+package repro
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/router"
+)
+
+var hwSyncCountRe = regexp.MustCompile(`cosim_sync_rendezvous_seconds_count\{side="hw"\} (\d+)`)
+
+// scrapeHWSyncCount GETs /metrics and returns the HW-side CLOCK
+// rendezvous histogram count (0 when the metric is not exposed yet).
+func scrapeHWSyncCount(t *testing.T, url string) uint64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	m := hwSyncCountRe.FindSubmatch(body)
+	if m == nil {
+		return 0
+	}
+	n, err := strconv.ParseUint(string(m[1]), 10, 64)
+	if err != nil {
+		t.Fatalf("scrape: parsing %q: %v", m[1], err)
+	}
+	return n
+}
+
+// TestLiveMetricsAdvanceDuringRun is the observability integration test:
+// a real co-simulation runs with an obs.Registry attached while an HTTP
+// scraper (the debug server's handler under httptest) polls /metrics
+// and watches the HW-side CLOCK rendezvous histogram count advance
+// mid-run — the same loop a Prometheus scrape of `cosim-hw -debug-addr`
+// would perform.
+func TestLiveMetricsAdvanceDuringRun(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := httptest.NewServer(obs.Handler(reg))
+	defer srv.Close()
+
+	rc := router.DefaultRunConfig()
+	rc.Obs = reg
+	// Small quantum + a per-message link delay stretch the run's wall
+	// time to a few hundred ms so scrapes land while time is advancing.
+	rc.TSync = 500
+	rc.LinkDelay = 200 * time.Microsecond
+	rc.TB.PacketsPerPort = 48 / rc.TB.Ports
+
+	type outcome struct {
+		res router.RunResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := router.RunCoSim(rc)
+		done <- outcome{res, err}
+	}()
+
+	// Poll until the run finishes, recording each distinct nonzero count.
+	var seen []uint64
+	var result outcome
+	deadline := time.After(60 * time.Second)
+poll:
+	for {
+		select {
+		case result = <-done:
+			break poll
+		case <-deadline:
+			t.Fatal("co-simulation did not finish within 60s")
+		case <-time.After(2 * time.Millisecond):
+			if n := scrapeHWSyncCount(t, srv.URL); n > 0 && (len(seen) == 0 || n != seen[len(seen)-1]) {
+				seen = append(seen, n)
+			}
+		}
+	}
+	if result.err != nil {
+		t.Fatalf("RunCoSim: %v", result.err)
+	}
+
+	if len(seen) < 2 {
+		t.Fatalf("wanted at least 2 distinct mid-run rendezvous counts on /metrics, saw %v", seen)
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] < seen[i-1] {
+			t.Fatalf("rendezvous count went backwards: %v", seen)
+		}
+	}
+
+	// After the run the scraped total must agree with the run's own
+	// sync-event count (the final grant can go unacknowledged, so the
+	// histogram may trail by the in-flight depth).
+	final := scrapeHWSyncCount(t, srv.URL)
+	if final < seen[len(seen)-1] {
+		t.Fatalf("final count %d below last mid-run count %d", final, seen[len(seen)-1])
+	}
+	syncs := result.res.HW.SyncEvents
+	if final > syncs || syncs-final > 2 {
+		t.Fatalf("final scraped count %d inconsistent with HW SyncEvents %d", final, syncs)
+	}
+
+	// The run's gauges must be published too.
+	metrics := fetch(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		"router_runs_completed_total 1",
+		`cosim_sync_rendezvous_seconds_count{side="board"}`,
+		"router_last_accuracy_pct",
+	} {
+		if !containsLine(metrics, want) {
+			t.Errorf("final /metrics missing %q", want)
+		}
+	}
+}
+
+func fetch(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return string(body)
+}
+
+func containsLine(body, prefix string) bool {
+	for _, line := range regexp.MustCompile(`\r?\n`).Split(body, -1) {
+		if len(line) >= len(prefix) && line[:len(prefix)] == prefix {
+			return true
+		}
+	}
+	return false
+}
