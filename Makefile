@@ -9,7 +9,7 @@ BENCH_RUNS ?= 3
 STATICCHECK_MOD := honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK_MOD := golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: all vet build test race fuzz-smoke bench-json bench-gate staticcheck govulncheck lint ci
+.PHONY: all vet build test race fuzz-smoke farm-soak bench-json bench-gate staticcheck govulncheck lint ci
 
 all: build
 
@@ -31,13 +31,18 @@ fuzz-smoke:
 	$(GO) test ./internal/cosim/ -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/cosim/ -run '^$$' -fuzz '^FuzzMsgRoundTrip$$' -fuzztime $(FUZZTIME)
 
+# farm-soak repeats the multi-session farm suite under the race detector
+# — the concurrency gate for the session manager and the mux listener.
+farm-soak:
+	$(GO) test ./internal/farm/ ./internal/cosim/ -race -count=3 -run 'Farm|Mux'
+
 # bench-json regenerates the miniature Fig.5/6/7 evaluation and writes
 # the machine-readable BENCH_cosim.json artifact CI gates against.
 bench-json:
 	$(GO) run ./cmd/cosim-bench -runs $(BENCH_RUNS) -v -out BENCH_cosim.json
 
-# bench-gate fails when any Fig.5 benchmark regressed >25% vs the
-# committed baseline (skips cleanly when no baseline is committed).
+# bench-gate fails when any Fig.5 or Farm benchmark regressed >25% vs
+# the committed baseline (skips cleanly when no baseline is committed).
 bench-gate: bench-json
 	$(GO) run ./cmd/cosim-benchcmp -baseline BENCH_baseline.json -current BENCH_cosim.json
 
@@ -62,4 +67,4 @@ lint:
 		echo "lint: govulncheck unavailable (offline); skipped"; \
 	fi
 
-ci: vet build race fuzz-smoke lint
+ci: vet build race fuzz-smoke farm-soak lint

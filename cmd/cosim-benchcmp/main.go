@@ -48,9 +48,27 @@ func load(path string) (map[string]int64, error) {
 func main() {
 	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline file")
 	current := flag.String("current", "BENCH_cosim.json", "freshly generated file")
-	prefix := flag.String("prefix", "Fig5/", "only gate benchmarks whose name has this prefix (empty = all)")
+	prefix := flag.String("prefix", "Fig5/,Farm/", "only gate benchmarks whose name has one of these comma-separated prefixes (empty = all)")
 	threshold := flag.Float64("threshold", 1.25, "fail when current/baseline ns/op exceeds this ratio")
 	flag.Parse()
+
+	var prefixes []string
+	for _, p := range strings.Split(*prefix, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			prefixes = append(prefixes, p)
+		}
+	}
+	matches := func(name string) bool {
+		if len(prefixes) == 0 {
+			return true
+		}
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
 
 	base, err := load(*baseline)
 	if err != nil {
@@ -75,7 +93,7 @@ func main() {
 		os.Exit(1)
 	}
 	for _, b := range ordered.Benchmarks {
-		if *prefix != "" && !strings.HasPrefix(b.Name, *prefix) {
+		if !matches(b.Name) {
 			continue
 		}
 		baseNs, ok := base[b.Name]

@@ -8,6 +8,12 @@
 //	cosim-experiments -fig 7              # just the accuracy sweep
 //	cosim-experiments -fig 6 -linkdelay 500us
 //	cosim-experiments -fig 5 -quick -v
+//	cosim-experiments -farm 16            # farm load generator instead
+//
+// With -farm N the figures are skipped and the tool becomes a load
+// generator: N concurrent sessions are pushed through worker pools of
+// doubling size up to -farm-workers, tabulating aggregate throughput
+// (see internal/farm).
 package main
 
 import (
@@ -28,6 +34,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	verbose := flag.Bool("v", false, "print per-run progress on stderr")
 	debugAddr := flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. :6060)")
+	farmN := flag.Int("farm", 0, "load-generator mode: drive this many concurrent farm sessions (skips figures)")
+	farmWorkers := flag.Int("farm-workers", 4, "largest worker-pool size for -farm")
 	flag.Parse()
 
 	opt := experiments.Options{Quick: *quick, LinkDelay: *delay}
@@ -43,6 +51,25 @@ func main() {
 		}
 		defer dbg.Close()
 		fmt.Fprintf(os.Stderr, "cosim-experiments: debug server on http://%s (/metrics /metrics.json /healthz /debug/pprof)\n", dbg.Addr())
+	}
+
+	if *farmN > 0 {
+		tbl, err := experiments.FarmLoad(opt, *farmN, *farmWorkers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cosim-experiments: farm load: %v\n", err)
+			os.Exit(1)
+		}
+		var werr error
+		if *csv {
+			werr = tbl.CSV(os.Stdout)
+		} else {
+			werr = tbl.Write(os.Stdout)
+		}
+		if werr != nil && werr != io.EOF {
+			fmt.Fprintf(os.Stderr, "cosim-experiments: writing output: %v\n", werr)
+			os.Exit(1)
+		}
+		return
 	}
 
 	type gen struct {

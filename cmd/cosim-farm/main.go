@@ -1,0 +1,138 @@
+// Command cosim-farm runs the multi-session co-simulation farm: one
+// shared TCP listener multiplexing every board's three channels by
+// session ID, a bounded worker pool with a backpressured submission
+// queue, and live aggregate metrics.
+//
+//	cosim-farm -sessions 8 -workers 4 -chaos-frac 0.5 -debug-addr :6060
+//
+// It drives -sessions concurrent co-simulations through the farm — each
+// board dials the shared listener and attaches with its session ID,
+// exactly as an external board would (see docs/PROTOCOL.md) — then
+// prints the aggregate throughput and exits nonzero if any session
+// failed. -hold keeps the farm and the debug server up after the run
+// until interrupted, for interactive /metrics scrapes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/cosim"
+	"repro/internal/farm"
+	"repro/internal/obs"
+	"repro/internal/router"
+)
+
+func sessionConfig(reg *obs.Registry, idx, packets int, tsync uint64, chaos bool) router.RunConfig {
+	rc := router.DefaultRunConfig()
+	rc.Obs = reg
+	rc.Transport = router.TransportTCP
+	rc.TB.PacketsPerPort = packets / rc.TB.Ports
+	rc.TB.Seed = int64(idx + 1)
+	rc.TSync = tsync
+	if chaos {
+		sc := cosim.UniformScenario(int64(1000+idx), cosim.FaultProfile{
+			Drop: 0.01, Duplicate: 0.01, Corrupt: 0.01,
+		})
+		rc.Chaos = &sc
+		sess := cosim.DefaultSessionConfig()
+		sess.RetransmitTimeout = 10 * time.Millisecond
+		rc.Resilience = &sess
+	}
+	return rc
+}
+
+func main() {
+	sessions := flag.Int("sessions", 8, "concurrent co-simulation sessions to drive")
+	workers := flag.Int("workers", 4, "worker-pool size (sessions running at once)")
+	queue := flag.Int("queue", 0, "submission-queue depth (0 = 2x workers)")
+	packets := flag.Int("n", 40, "packets injected per session")
+	tsync := flag.Uint64("tsync", 1000, "synchronization interval in cycles")
+	chaosFrac := flag.Float64("chaos-frac", 0.5, "fraction of sessions run under link chaos + resilience")
+	listen := flag.String("listen", "127.0.0.1:0", "mux listener address boards dial")
+	debugAddr := flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. :6060)")
+	hold := flag.Bool("hold", false, "keep the farm and debug server up after the run until interrupted")
+	verbose := flag.Bool("v", false, "print one line per completed session")
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "cosim-farm: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	reg := obs.NewRegistry()
+	if *debugAddr != "" {
+		dbg, err := obs.Serve(*debugAddr, reg)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "cosim-farm: debug server on http://%s (/metrics /metrics.json /healthz /debug/pprof)\n", dbg.Addr())
+	}
+
+	f, err := farm.New(farm.Config{
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		ListenAddr:        *listen,
+		Obs:               reg,
+		PerSessionMetrics: true,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+	fmt.Fprintf(os.Stderr, "cosim-farm: mux listener on %s, %d workers\n", f.Addr(), *workers)
+
+	ctx := context.Background()
+	start := time.Now()
+	handles := make([]*farm.Session, 0, *sessions)
+	for i := 0; i < *sessions; i++ {
+		chaos := float64(i) < *chaosFrac*float64(*sessions)
+		s, err := f.Submit(ctx, sessionConfig(reg, i, *packets, *tsync, chaos))
+		if err != nil {
+			fail("submit session %d: %v", i, err)
+		}
+		handles = append(handles, s)
+	}
+
+	failed := 0
+	var retransmits uint64
+	for _, s := range handles {
+		res, err := s.Result()
+		if err == nil && res.Conservation != nil {
+			err = res.Conservation
+		}
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "cosim-farm: session %d failed: %v\n", s.ID(), err)
+			continue
+		}
+		retransmits += res.Link.Link.Retransmits
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "cosim-farm: session %d done: %v\n", s.ID(), res)
+		}
+	}
+	wall := time.Since(start)
+	ok := *sessions - failed
+	fmt.Printf("cosim-farm: %d/%d sessions completed in %v (%.1f sessions/s, %d retransmits healed)\n",
+		ok, *sessions, wall.Round(time.Millisecond), float64(ok)/wall.Seconds(), retransmits)
+
+	if *hold {
+		fmt.Fprintln(os.Stderr, "cosim-farm: holding for scrapes; interrupt to exit")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+	}
+	drainCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := f.Drain(drainCtx); err != nil {
+		fail("drain: %v", err)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

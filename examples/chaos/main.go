@@ -64,5 +64,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "chaos: DIVERGED:\n  clean %+v\n  chaos %+v\n", clean, dirty)
 		os.Exit(1)
 	}
+
+	// Third run: the same chaotic stack, but wired by hand. BuildStack
+	// composes the layers (chaos beneath the healing session) over
+	// caller-owned base transports, and RunOnTransports executes the
+	// testbench on them — the farm's code path, here in miniature. The
+	// run config carries no layers of its own: the stack is ours.
+	sc := cosim.UniformScenario(*seed, cosim.FaultProfile{
+		Drop: *drop, Duplicate: *drop, Reorder: *reorder, Corrupt: *corrupt,
+	})
+	rcfg := cosim.DefaultSessionConfig()
+	rcfg.RetransmitTimeout = 10 * time.Millisecond
+	stack := cosim.StackConfig{Chaos: &sc, Session: &rcfg}
+	hwBase, boardBase := cosim.NewInProcPair(4096)
+	hwT, hwClose := cosim.BuildStack(hwBase, stack)
+	boardT, boardClose := cosim.BuildStack(boardBase, stack.Peer())
+	defer hwClose()
+	defer boardClose()
+	res, err := router.RunOnTransports(rc, hwT, boardT)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: hand-wired run: %v\n", err)
+		os.Exit(1)
+	}
+	hand := outcome{r: res.Router, cycles: res.BoardCycles, ticks: res.BoardSWTicks}
+	fmt.Printf("%-6s forwarded=%d/%d syncs=%d boardTime=%d cycles/%d ticks wall=%v\n",
+		"manual", res.Router.Forwarded, res.Generated, res.HW.SyncEvents,
+		res.BoardCycles, res.BoardSWTicks, res.Wall.Round(time.Millisecond))
+	if hand != dirty {
+		fmt.Fprintf(os.Stderr, "chaos: hand-wired stack DIVERGED:\n  RunCoSim %+v\n  manual   %+v\n", dirty, hand)
+		os.Exit(1)
+	}
 	fmt.Println("result bit-identical to the clean run: faults cost time, not accuracy")
 }

@@ -1,0 +1,184 @@
+package repro
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/cosim"
+	"repro/internal/farm"
+	"repro/internal/obs"
+	"repro/internal/router"
+)
+
+var (
+	farmActiveRe    = regexp.MustCompile(`farm_active_sessions (\d+)`)
+	farmCompletedRe = regexp.MustCompile(`farm_sessions_completed_total (\d+)`)
+)
+
+// scrapeFarm GETs /metrics and returns the farm's active-session gauge
+// and completed counter (0, 0 when not yet exposed).
+func scrapeFarm(t *testing.T, url string) (active, completed uint64) {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	parse := func(re *regexp.Regexp) uint64 {
+		m := re.FindSubmatch(body)
+		if m == nil {
+			return 0
+		}
+		n, err := strconv.ParseUint(string(m[1]), 10, 64)
+		if err != nil {
+			t.Fatalf("scrape: parsing %q: %v", m[1], err)
+		}
+		return n
+	}
+	return parse(farmActiveRe), parse(farmCompletedRe)
+}
+
+// farmAcceptanceConfig is one session of the acceptance workload: TCP
+// through the shared mux listener, an emulated link latency to stretch
+// wall time (so mid-run scrapes land), and chaos+resilience on every
+// second session.
+func farmAcceptanceConfig(idx int) router.RunConfig {
+	rc := router.DefaultRunConfig()
+	rc.Transport = router.TransportTCP
+	rc.TSync = 500
+	rc.LinkDelay = 200 * time.Microsecond
+	rc.TB.PacketsPerPort = 48 / rc.TB.Ports
+	rc.TB.Seed = int64(idx + 1)
+	if idx%2 == 1 {
+		sc := cosim.UniformScenario(int64(2000+idx), cosim.FaultProfile{
+			Drop: 0.01, Duplicate: 0.01, Corrupt: 0.01,
+		})
+		rc.Chaos = &sc
+		sess := cosim.DefaultSessionConfig()
+		sess.RetransmitTimeout = 10 * time.Millisecond
+		rc.Resilience = &sess
+	}
+	return rc
+}
+
+// virtualTime is the simulated-time fingerprint of a run; two runs with
+// equal fingerprints behaved identically in virtual time.
+type virtualTime struct {
+	router router.Stats
+	cycles uint64
+	ticks  uint64
+	syncs  uint64
+}
+
+func virtualTimeOf(res router.RunResult) virtualTime {
+	return virtualTime{router: res.Router, cycles: res.BoardCycles, ticks: res.BoardSWTicks, syncs: res.HW.SyncEvents}
+}
+
+// TestFarmAcceptance is the PR's acceptance criterion: 8 concurrent TCP
+// sessions (chaos+resilience on half) run on one farm while an HTTP
+// scraper polls /metrics and sees farm_active_sessions and
+// farm_sessions_completed_total move mid-run, and every session's
+// simulated-time results come out bit-identical to the equivalent solo
+// RunCoSim.
+func TestFarmAcceptance(t *testing.T) {
+	const sessions = 8
+
+	// Solo reference runs, one per config.
+	want := make([]virtualTime, sessions)
+	for i := range want {
+		res, err := router.RunCoSim(farmAcceptanceConfig(i))
+		if err != nil {
+			t.Fatalf("solo run %d: %v", i, err)
+		}
+		if res.Conservation != nil {
+			t.Fatalf("solo run %d: %v", i, res.Conservation)
+		}
+		want[i] = virtualTimeOf(res)
+	}
+
+	reg := obs.NewRegistry()
+	srv := httptest.NewServer(obs.Handler(reg))
+	defer srv.Close()
+
+	f, err := farm.New(farm.Config{Workers: 4, QueueDepth: sessions, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	handles := make([]*farm.Session, sessions)
+	for i := range handles {
+		s, err := f.Submit(ctx, farmAcceptanceConfig(i))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		handles[i] = s
+	}
+
+	// Scrape while the farm works: concurrency (active > 1) and progress
+	// (completed counting up while sessions are still active) must both
+	// be visible to an external observer.
+	allDone := make(chan struct{})
+	go func() {
+		for _, s := range handles {
+			<-s.Done()
+		}
+		close(allDone)
+	}()
+	var maxActive uint64
+	sawProgressMidRun := false
+poll:
+	for {
+		select {
+		case <-allDone:
+			break poll
+		case <-ctx.Done():
+			t.Fatal("farm did not finish in time")
+		case <-time.After(2 * time.Millisecond):
+			active, completed := scrapeFarm(t, srv.URL)
+			if active > maxActive {
+				maxActive = active
+			}
+			if active >= 1 && completed >= 1 {
+				sawProgressMidRun = true
+			}
+		}
+	}
+	if maxActive < 2 {
+		t.Errorf("never scraped >1 active session (max %d); farm did not run concurrently", maxActive)
+	}
+	if !sawProgressMidRun {
+		t.Error("never scraped farm_sessions_completed_total >= 1 while sessions were active")
+	}
+
+	for i, s := range handles {
+		res, err := s.Result()
+		if err != nil {
+			t.Fatalf("farm session %d: %v", i, err)
+		}
+		if res.Conservation != nil {
+			t.Fatalf("farm session %d: %v", i, res.Conservation)
+		}
+		if got := virtualTimeOf(res); got != want[i] {
+			t.Errorf("session %d diverged from solo run:\nfarm %+v\nsolo %+v", i, got, want[i])
+		}
+	}
+
+	// After the fact the counter must account for every session.
+	_, completed := scrapeFarm(t, srv.URL)
+	if completed != sessions {
+		t.Errorf("farm_sessions_completed_total = %d after the run, want %d", completed, sessions)
+	}
+}

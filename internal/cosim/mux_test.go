@@ -1,0 +1,216 @@
+package cosim
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMuxListenerRoutesSessions proves the attach handshake routes each
+// board to the run that expected its session ID, with several boards
+// dialing concurrently.
+func TestMuxListenerRoutesSessions(t *testing.T) {
+	ln, err := ListenMux("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	const n = 5
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// Register all sessions first, then let the boards race.
+	pend := make([]*PendingSession, n)
+	for i := range pend {
+		p, err := ln.Expect(uint64(100 + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pend[i] = p
+	}
+
+	var wg sync.WaitGroup
+	boards := make([]Transport, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := DialTCPSession(ln.Addr(), uint64(100+i))
+			if err != nil {
+				t.Errorf("dial session %d: %v", 100+i, err)
+				return
+			}
+			boards[i] = tr
+			// Identify ourselves over the routed link.
+			if err := tr.Send(ChanData, Msg{Type: MTDataWrite, Addr: uint32(100 + i), Words: []uint32{uint32(i)}}); err != nil {
+				t.Errorf("send on session %d: %v", 100+i, err)
+			}
+		}(i)
+	}
+
+	for i := 0; i < n; i++ {
+		hw, err := pend[i].Accept(ctx)
+		if err != nil {
+			t.Fatalf("accept session %d: %v", 100+i, err)
+		}
+		defer hw.Close()
+		m, err := hw.Recv(ChanData)
+		if err != nil {
+			t.Fatalf("recv on session %d: %v", 100+i, err)
+		}
+		if m.Addr != uint32(100+i) {
+			t.Fatalf("session %d received a frame for session %d: misrouted", 100+i, m.Addr)
+		}
+	}
+	wg.Wait()
+	for _, b := range boards {
+		if b != nil {
+			b.Close()
+		}
+	}
+	if got := ln.Rejected(); got != 0 {
+		t.Fatalf("listener rejected %d connections during clean routing", got)
+	}
+}
+
+// TestMuxListenerRejectsUnknownSession proves a board attaching with an
+// unregistered session ID is refused with a crisp error at dial time.
+func TestMuxListenerRejectsUnknownSession(t *testing.T) {
+	ln, err := ListenMux("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	if _, err := DialTCPSession(ln.Addr(), 0xdead); !errors.Is(err, ErrSessionRejected) {
+		t.Fatalf("dial to unknown session: got %v, want ErrSessionRejected", err)
+	}
+	if ln.Rejected() == 0 {
+		t.Fatal("listener did not count the rejection")
+	}
+
+	// A session registered under a different ID must be unaffected.
+	p, err := ln.Expect(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		tr, err := DialTCPSession(ln.Addr(), 7)
+		if err == nil {
+			tr.Close()
+		}
+		done <- err
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	hw, err := p.Accept(ctx)
+	if err != nil {
+		t.Fatalf("accept after rejection: %v", err)
+	}
+	hw.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("dial of registered session: %v", err)
+	}
+}
+
+// TestMuxListenerDuplicateExpect proves the same session ID cannot be
+// registered twice, and can be re-registered after the first handle is
+// cancelled.
+func TestMuxListenerDuplicateExpect(t *testing.T) {
+	ln, err := ListenMux("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	p, err := ln.Expect(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ln.Expect(42); !errors.Is(err, ErrSessionExists) {
+		t.Fatalf("duplicate Expect: got %v, want ErrSessionExists", err)
+	}
+	p.Cancel()
+	p2, err := ln.Expect(42)
+	if err != nil {
+		t.Fatalf("re-Expect after Cancel: %v", err)
+	}
+	p2.Cancel()
+}
+
+// TestMuxAcceptContextCancel proves an accept abandoned by its context
+// withdraws the registration, so a later board dial is rejected instead
+// of leaking a half-session.
+func TestMuxAcceptContextCancel(t *testing.T) {
+	ln, err := ListenMux("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ln.AcceptSession(ctx, 9); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled accept: got %v", err)
+	}
+	if _, err := DialTCPSession(ln.Addr(), 9); !errors.Is(err, ErrSessionRejected) {
+		t.Fatalf("dial after cancelled accept: got %v, want ErrSessionRejected", err)
+	}
+}
+
+// TestMuxEndToEndEndpoints runs a miniature grant/ack exchange over a
+// mux-routed transport to prove it behaves exactly like a DialTCP link.
+func TestMuxEndToEndEndpoints(t *testing.T) {
+	ln, err := ListenMux("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	boardDone := make(chan error, 1)
+	go func() {
+		tr, err := DialTCPSession(ln.Addr(), 1)
+		if err != nil {
+			boardDone <- err
+			return
+		}
+		defer tr.Close()
+		// One grant in, one ack out.
+		g, err := tr.Recv(ChanClock)
+		if err != nil {
+			boardDone <- err
+			return
+		}
+		if g.Type != MTClockGrant || g.Ticks != 10 {
+			boardDone <- errors.New("bad grant")
+			return
+		}
+		boardDone <- tr.Send(ChanClock, Msg{Type: MTTimeAck, BoardCycle: 10})
+	}()
+
+	hw, err := ln.AcceptSession(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hw.Close()
+	if err := hw.Send(ChanClock, Msg{Type: MTClockGrant, Ticks: 10}); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := hw.Recv(ChanClock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Type != MTTimeAck || ack.BoardCycle != 10 {
+		t.Fatalf("bad ack: %+v", ack)
+	}
+	if err := <-boardDone; err != nil {
+		t.Fatalf("board side: %v", err)
+	}
+}

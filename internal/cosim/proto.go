@@ -95,6 +95,12 @@ const (
 	// MTHeartbeat (CLOCK, either direction): liveness probe carrying a
 	// monotonic counter in Seq; never sequenced, never retransmitted.
 	MTHeartbeat
+	// MTAttach (any channel, board→listener, immediately after the hello):
+	// the multiplexing handshake of a farm listener. Version repeats the
+	// protocol version; Seq carries the session ID the connection belongs
+	// to, so one listener can route many boards to their runs (see
+	// MuxListener). A plain Listener never sees this frame.
+	MTAttach
 )
 
 // String implements fmt.Stringer.
@@ -126,6 +132,8 @@ func (t MsgType) String() string {
 		return "session-nack"
 	case MTHeartbeat:
 		return "heartbeat"
+	case MTAttach:
+		return "attach"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -220,6 +228,9 @@ func (m *Msg) appendBody(b []byte) []byte {
 	case MTSessionAck, MTSessionNack, MTHeartbeat:
 		b = le.AppendUint64(b, m.Seq)
 		b = le.AppendUint32(b, m.Crc)
+	case MTAttach:
+		b = le.AppendUint16(b, m.Version)
+		b = le.AppendUint64(b, m.Seq)
 	default:
 		panic(fmt.Sprintf("cosim: encode of unknown message type %d", m.Type))
 	}
@@ -326,6 +337,12 @@ func decodeBody(body []byte) (Msg, error) {
 		}
 		m.Seq = le.Uint64(p)
 		m.Crc = le.Uint32(p[8:])
+	case MTAttach:
+		if err := need(10); err != nil {
+			return m, err
+		}
+		m.Version = le.Uint16(p)
+		m.Seq = le.Uint64(p[2:])
 	default:
 		return m, fmt.Errorf("cosim: unknown message type %d", body[0])
 	}

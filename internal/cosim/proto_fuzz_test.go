@@ -60,7 +60,7 @@ func FuzzMsgRoundTrip(f *testing.F) {
 		if len(blob) > maxFrameBody {
 			blob = blob[:maxFrameBody]
 		}
-		m := Msg{Type: MTHello + MsgType(typ)%13}
+		m := Msg{Type: MTHello + MsgType(typ)%14}
 		words := make([]uint32, 0, len(blob)/4)
 		for i := 0; i+4 <= len(blob) && len(words) < MaxWords; i += 4 {
 			words = append(words, uint32(blob[i])|uint32(blob[i+1])<<8|uint32(blob[i+2])<<16|uint32(blob[i+3])<<24)
@@ -84,6 +84,8 @@ func FuzzMsgRoundTrip(f *testing.F) {
 			m.Seq, m.Crc, m.Raw = u, a, blob
 		case MTSessionAck, MTSessionNack, MTHeartbeat:
 			m.Seq, m.Crc = u, a
+		case MTAttach:
+			m.Version, m.Seq = uint16(a), u
 		default:
 			t.Fatalf("unmapped type %v", m.Type)
 		}

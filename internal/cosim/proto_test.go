@@ -188,7 +188,7 @@ func TestChannelAndTypeStrings(t *testing.T) {
 	if Channel(9).String() == "" || MsgType(200).String() == "" {
 		t.Fatal("out-of-range strings empty")
 	}
-	for mt := MTHello; mt <= MTHeartbeat; mt++ {
+	for mt := MTHello; mt <= MTAttach; mt++ {
 		if mt.String() == "" {
 			t.Fatalf("no name for type %d", mt)
 		}

@@ -1,0 +1,73 @@
+package cosim
+
+import "time"
+
+// StackConfig selects the optional decorator layers of one side of a
+// co-simulation link. The zero value is a bare link: BuildStack returns
+// the base transport unchanged.
+//
+// A StackConfig describes ONE side. The two sides of a link must agree
+// on which layers are present (a session layer on one side only
+// deadlocks; chaos on one side only injures one direction), but each
+// side carries its own Scenario so the two directions get independent
+// fault streams — see Peer.
+type StackConfig struct {
+	// Delay adds a fixed wall-clock latency to every send (the paper's
+	// host↔board Ethernet; see DelayTransport).
+	Delay time.Duration
+	// Chaos, when non-nil, injects seeded link faults beneath the
+	// session layer (see ChaosTransport). Pair it with Session, or the
+	// injured frames will poison the endpoint.
+	Chaos *Scenario
+	// Session, when non-nil, stacks the resilience layer on top (see
+	// SessionTransport).
+	Session *SessionConfig
+}
+
+// Peer derives the configuration for the opposite side of the link: the
+// same layers, with the chaos seed offset so the two directions draw
+// independent fault streams. Build one side with cfg and the other with
+// cfg.Peer().
+func (c StackConfig) Peer() StackConfig {
+	if c.Chaos != nil {
+		sc := c.Chaos.WithSeed(c.Chaos.Seed + 0x5eed)
+		c.Chaos = &sc
+	}
+	return c
+}
+
+// BuildStack wraps base in the configured decorator layers, encoding the
+// one correct order once: delay innermost (it models the physical link),
+// chaos above it (faults hit the delayed link), and the resilient
+// session on top (it must see — and repair — everything below). It
+// returns the top of the stack and a close function that tears the whole
+// stack down; calling it more than once is safe, and closing the top
+// transport directly is equivalent (every layer forwards Close), so the
+// two-value shape exists to make ownership explicit at call sites.
+//
+// The returned transport supports Unwrap down to base, so capability
+// probes such as the endpoint link-stats harvest keep working.
+func BuildStack(base Transport, cfg StackConfig) (Transport, func() error) {
+	top := base
+	if cfg.Delay > 0 {
+		top = NewDelayTransport(top, cfg.Delay)
+	}
+	if cfg.Chaos != nil {
+		top = NewChaosTransport(top, *cfg.Chaos)
+	}
+	if cfg.Session != nil {
+		top = NewSessionTransport(top, *cfg.Session)
+	}
+	closeTop := top
+	closeFn := func() error {
+		err := closeTop.Close()
+		// Belt and braces: every layer forwards Close, but closing the
+		// base again is idempotent and guarantees the socket dies even
+		// if a future decorator forgets to forward.
+		if berr := base.Close(); err == nil {
+			err = berr
+		}
+		return err
+	}
+	return top, closeFn
+}

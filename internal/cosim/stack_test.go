@@ -1,0 +1,118 @@
+package cosim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBuildStackZeroConfig proves the zero config is a no-op: the base
+// transport comes back unchanged.
+func TestBuildStackZeroConfig(t *testing.T) {
+	hw, board := NewInProcPair(4)
+	defer board.Close()
+	top, closeFn := BuildStack(hw, StackConfig{})
+	if top != hw {
+		t.Fatalf("zero config wrapped the base: %T", top)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := top.Recv(ChanInt); err != ErrClosed {
+		t.Fatalf("recv after stack close: got %v, want ErrClosed", err)
+	}
+}
+
+// TestBuildStackLayerOrder proves the layering invariant the old inline
+// wiring encoded by hand: session on top, chaos below it, delay below
+// that, base at the bottom — walkable via Unwrap.
+func TestBuildStackLayerOrder(t *testing.T) {
+	hw, board := NewInProcPair(4)
+	defer board.Close()
+	sc := UniformScenario(1, FaultProfile{})
+	sess := DefaultSessionConfig()
+	top, closeFn := BuildStack(hw, StackConfig{
+		Delay:   time.Microsecond,
+		Chaos:   &sc,
+		Session: &sess,
+	})
+	defer closeFn()
+
+	if _, ok := top.(*SessionTransport); !ok {
+		t.Fatalf("top of stack is %T, want *SessionTransport", top)
+	}
+	l2 := top.(Unwrapper).Unwrap()
+	if _, ok := l2.(*ChaosTransport); !ok {
+		t.Fatalf("second layer is %T, want *ChaosTransport", l2)
+	}
+	l3 := l2.(Unwrapper).Unwrap()
+	if _, ok := l3.(*DelayTransport); !ok {
+		t.Fatalf("third layer is %T, want *DelayTransport", l3)
+	}
+	if l4 := l3.(Unwrapper).Unwrap(); l4 != hw {
+		t.Fatalf("bottom of stack is %T, want the base transport", l4)
+	}
+}
+
+// TestBuildStackRoundTrip runs traffic through two full peer stacks and
+// proves close is idempotent.
+func TestBuildStackRoundTrip(t *testing.T) {
+	hwBase, boardBase := NewInProcPair(64)
+	sc := UniformScenario(7, FaultProfile{Drop: 0.2, Duplicate: 0.2})
+	sess := DefaultSessionConfig()
+	sess.RetransmitTimeout = 5 * time.Millisecond
+	cfg := StackConfig{Chaos: &sc, Session: &sess}
+
+	hw, hwClose := BuildStack(hwBase, cfg)
+	board, boardClose := BuildStack(boardBase, cfg.Peer())
+
+	const n = 50
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := board.Send(ChanData, Msg{Type: MTDataWrite, Addr: uint32(i), Words: []uint32{uint32(i)}}); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < n; i++ {
+		m, err := hw.Recv(ChanData)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if m.Addr != uint32(i) {
+			t.Fatalf("frame %d arrived with addr %d: chaos leaked through the session", i, m.Addr)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("send: %v", err)
+	}
+
+	for i := 0; i < 2; i++ {
+		if err := hwClose(); err != nil && err != ErrClosed {
+			t.Fatalf("hw close #%d: %v", i+1, err)
+		}
+		if err := boardClose(); err != nil && err != ErrClosed {
+			t.Fatalf("board close #%d: %v", i+1, err)
+		}
+	}
+}
+
+// TestStackConfigPeerSeeds proves Peer offsets the chaos seed (the two
+// directions must draw independent fault schedules) and leaves a
+// chaos-free config untouched.
+func TestStackConfigPeerSeeds(t *testing.T) {
+	sc := UniformScenario(100, FaultProfile{Drop: 0.5})
+	cfg := StackConfig{Chaos: &sc}
+	peer := cfg.Peer()
+	if peer.Chaos == nil || peer.Chaos.Seed == sc.Seed {
+		t.Fatalf("Peer did not derive an independent seed: %+v", peer.Chaos)
+	}
+	if sc.Seed != 100 {
+		t.Fatal("Peer mutated the caller's scenario")
+	}
+	if p := (StackConfig{}).Peer(); p.Chaos != nil {
+		t.Fatal("Peer invented a chaos layer")
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/cosim"
+	"repro/internal/farm"
+	"repro/internal/router"
+)
+
+// FarmLoadResult aggregates one multi-session farm load.
+type FarmLoadResult struct {
+	Sessions        int
+	Workers         int
+	Failed          int
+	Wall            time.Duration
+	SessionsPerSec  float64
+	MeanSessionWall time.Duration
+	Retransmits     uint64
+}
+
+// FarmSessionConfig builds the load generator's per-session workload:
+// every session dials the shared mux listener over TCP, and sessions
+// flagged chaotic run under seeded link faults healed by the resilience
+// layer.
+func FarmSessionConfig(opt Options, idx int, chaos bool) router.RunConfig {
+	rc := opt.runConfig()
+	rc.Transport = router.TransportTCP
+	rc.TB.PacketsPerPort = 10
+	if opt.Quick {
+		rc.TB.PacketsPerPort = 5
+	}
+	rc.TB.Seed = int64(idx + 1)
+	if chaos {
+		sc := cosim.UniformScenario(int64(1000+idx), cosim.FaultProfile{
+			Drop: 0.01, Duplicate: 0.01, Corrupt: 0.01,
+		})
+		rc.Chaos = &sc
+		sess := cosim.DefaultSessionConfig()
+		sess.RetransmitTimeout = 10 * time.Millisecond
+		rc.Resilience = &sess
+	}
+	return rc
+}
+
+// RunFarmLoad drives `sessions` concurrent co-simulations — chaos plus
+// resilience on every second one — through one farm of `workers` workers
+// and reports the aggregate throughput.
+func RunFarmLoad(opt Options, sessions, workers int) (FarmLoadResult, error) {
+	f, err := farm.New(farm.Config{Workers: workers, QueueDepth: sessions, Obs: opt.Obs})
+	if err != nil {
+		return FarmLoadResult{}, err
+	}
+	defer f.Close()
+
+	start := time.Now()
+	handles := make([]*farm.Session, 0, sessions)
+	for i := 0; i < sessions; i++ {
+		s, err := f.Submit(context.Background(), FarmSessionConfig(opt, i, i%2 == 1))
+		if err != nil {
+			return FarmLoadResult{}, fmt.Errorf("farm load: submit %d: %w", i, err)
+		}
+		handles = append(handles, s)
+	}
+	out := FarmLoadResult{Sessions: sessions, Workers: workers}
+	var totalSessionWall time.Duration
+	for i, s := range handles {
+		res, err := s.Result()
+		if err == nil && res.Conservation != nil {
+			err = res.Conservation
+		}
+		if err != nil {
+			out.Failed++
+			opt.log("farm: session %d failed: %v", i, err)
+			continue
+		}
+		totalSessionWall += res.Wall
+		out.Retransmits += res.Link.Link.Retransmits
+		opt.log("farm: session %d: %v", i, res)
+	}
+	out.Wall = time.Since(start)
+	if n := sessions - out.Failed; n > 0 {
+		out.MeanSessionWall = totalSessionWall / time.Duration(n)
+		out.SessionsPerSec = float64(n) / out.Wall.Seconds()
+	}
+	if out.Failed > 0 {
+		return out, fmt.Errorf("farm load: %d of %d sessions failed", out.Failed, sessions)
+	}
+	return out, nil
+}
+
+// FarmLoad is the load generator behind cosim-experiments' -farm mode:
+// a fixed count of concurrent sessions pushed through worker pools of
+// doubling size up to maxWorkers, tabulating the throughput scaling.
+func FarmLoad(opt Options, sessions, maxWorkers int) (*Table, error) {
+	if sessions < 1 || maxWorkers < 1 {
+		return nil, fmt.Errorf("farm load: need ≥1 session and ≥1 worker (got %d, %d)", sessions, maxWorkers)
+	}
+	var pool []int
+	for w := 1; w < maxWorkers; w *= 2 {
+		pool = append(pool, w)
+	}
+	pool = append(pool, maxWorkers)
+	t := &Table{
+		Title:  fmt.Sprintf("Farm load: %d concurrent TCP sessions, throughput vs worker-pool size", sessions),
+		Header: []string{"workers", "wall_s", "sessions_per_sec", "mean_session_s", "retransmits"},
+	}
+	for _, w := range pool {
+		r, err := RunFarmLoad(opt, sessions, w)
+		if err != nil {
+			return nil, fmt.Errorf("farm load: workers=%d: %w", w, err)
+		}
+		t.Append(w,
+			fmt.Sprintf("%.3f", r.Wall.Seconds()),
+			fmt.Sprintf("%.1f", r.SessionsPerSec),
+			fmt.Sprintf("%.3f", r.MeanSessionWall.Seconds()),
+			r.Retransmits)
+	}
+	t.Note("every session dials the shared mux listener over TCP; every second session runs under seeded link chaos healed by the session layer")
+	t.Note("results stay bit-identical to solo runs regardless of worker count — only wall clock scales")
+	return t, nil
+}

@@ -1,0 +1,491 @@
+// Package farm is the multi-session co-simulation manager: where
+// router.RunCoSim runs one simulator↔board pair, a Farm runs many
+// independent sessions concurrently — a bounded worker pool fed by a
+// submission queue with backpressure, one TCP front door (a
+// cosim.MuxListener) multiplexing every board, per-session IDs and
+// cancellation, graceful drain, and aggregate plus per-session metrics
+// in an obs.Registry.
+//
+// The paper's setup is one simulator talking to one board over three
+// sockets; the farm is that setup at production scale: N testbenches in
+// flight, each with its own deterministic virtual time, sharing nothing
+// but the listener and the metrics registry.
+package farm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cosim"
+	"repro/internal/obs"
+	"repro/internal/router"
+)
+
+// ErrQueueFull is returned by TrySubmit when the submission queue is at
+// capacity — the backpressure signal.
+var ErrQueueFull = errors.New("farm: submission queue full")
+
+// ErrDraining is returned by Submit/TrySubmit after Drain began: the
+// farm finishes what it has but accepts nothing new.
+var ErrDraining = errors.New("farm: draining, not accepting new sessions")
+
+// ErrClosed is returned by operations on a closed farm, and is the
+// terminal error of sessions that were still queued when the farm shut
+// down.
+var ErrClosed = errors.New("farm: closed")
+
+// Config tunes a Farm. The zero value is usable: 4 workers, a queue of
+// twice that, a loopback listener, no metrics.
+type Config struct {
+	// Workers bounds the number of sessions running concurrently.
+	Workers int
+	// QueueDepth bounds the number of accepted-but-not-yet-running
+	// sessions; a full queue pushes back on submitters.
+	QueueDepth int
+	// ListenAddr is the multiplexing TCP listener's address, the front
+	// door every TCP session's board dials (default "127.0.0.1:0").
+	ListenAddr string
+	// Obs, when non-nil, receives the farm's aggregate metrics and each
+	// session's endpoint metrics (see docs/OBSERVABILITY.md).
+	Obs *obs.Registry
+	// PerSessionMetrics additionally publishes one labelled gauge per
+	// completed session (rendezvous latency, wall time). Metric
+	// cardinality grows with every session; leave it off for long-lived
+	// farms scraped by a real Prometheus.
+	PerSessionMetrics bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.ListenAddr == "" {
+		c.ListenAddr = "127.0.0.1:0"
+	}
+	return c
+}
+
+// SessionState is the lifecycle position of one session.
+type SessionState int32
+
+const (
+	// StateQueued: accepted, waiting for a worker.
+	StateQueued SessionState = iota
+	// StateRunning: a worker is executing the co-simulation.
+	StateRunning
+	// StateDone: finished; Result is valid.
+	StateDone
+)
+
+// String implements fmt.Stringer.
+func (s SessionState) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("SessionState(%d)", int32(s))
+	}
+}
+
+// errCancelled is the cancellation cause recorded by Session.Cancel,
+// distinguishing a caller's abort from a farm-wide shutdown (ErrClosed).
+var errCancelled = errors.New("cancelled by caller")
+
+// Session is the handle of one submitted co-simulation run.
+type Session struct {
+	id     uint64
+	cfg    router.RunConfig
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	state atomic.Int32
+	done  chan struct{}
+	res   router.RunResult
+	err   error
+}
+
+// ID returns the farm-unique session ID — the value a TCP board attaches
+// with on the mux listener.
+func (s *Session) ID() uint64 { return s.id }
+
+// State returns the session's current lifecycle state.
+func (s *Session) State() SessionState { return SessionState(s.state.Load()) }
+
+// Done returns a channel closed when the session has finished.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Cancel aborts the session: a queued session fails without running, a
+// running one has its link torn down and fails promptly.
+func (s *Session) Cancel() { s.cancel(errCancelled) }
+
+// Result returns the run's outcome. It blocks until the session is done.
+func (s *Session) Result() (router.RunResult, error) {
+	<-s.done
+	return s.res, s.err
+}
+
+// Wait blocks until the session finishes or ctx ends.
+func (s *Session) Wait(ctx context.Context) (router.RunResult, error) {
+	select {
+	case <-s.done:
+		return s.res, s.err
+	case <-ctx.Done():
+		return router.RunResult{}, ctx.Err()
+	}
+}
+
+func (s *Session) finish(res router.RunResult, err error) {
+	s.res, s.err = res, err
+	s.state.Store(int32(StateDone))
+	close(s.done)
+}
+
+// Farm runs co-simulation sessions on a bounded worker pool.
+type Farm struct {
+	cfg Config
+	ln  *cosim.MuxListener
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	queue  chan *Session
+	wg     sync.WaitGroup // workers
+	sessWG sync.WaitGroup // accepted-but-unfinished sessions
+
+	mu       sync.Mutex
+	draining bool
+	closed   bool
+
+	nextID    atomic.Uint64
+	active    atomic.Int64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	rejected  atomic.Uint64
+	started   time.Time
+}
+
+// New starts a farm: the mux listener and cfg.Workers workers come up
+// immediately. Call Close (or Drain, then Close) when done with it.
+func New(cfg Config) (*Farm, error) {
+	cfg = cfg.withDefaults()
+	ln, err := cosim.ListenMux(cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("farm: listen: %w", err)
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	f := &Farm{
+		cfg:     cfg,
+		ln:      ln,
+		ctx:     ctx,
+		cancel:  cancel,
+		queue:   make(chan *Session, cfg.QueueDepth),
+		started: time.Now(),
+	}
+	f.registerMetrics()
+	for i := 0; i < cfg.Workers; i++ {
+		f.wg.Add(1)
+		go f.worker()
+	}
+	return f, nil
+}
+
+// Addr returns the mux listener's address — where external boards dial
+// in with cosim.DialTCPSession.
+func (f *Farm) Addr() string { return f.ln.Addr() }
+
+// registerMetrics publishes the aggregate farm instruments. Counters are
+// registered eagerly so a scrape sees them (at zero) from the first
+// moment of the farm's life.
+func (f *Farm) registerMetrics() {
+	reg := f.cfg.Obs
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("farm_active_sessions", func() float64 { return float64(f.active.Load()) })
+	reg.GaugeFunc("farm_queue_depth", func() float64 { return float64(len(f.queue)) })
+	reg.Gauge("farm_queue_capacity").Set(float64(f.cfg.QueueDepth))
+	reg.Gauge("farm_workers").Set(float64(f.cfg.Workers))
+	reg.CounterFunc("farm_sessions_completed_total", f.completed.Load)
+	reg.CounterFunc("farm_sessions_failed_total", f.failed.Load)
+	reg.CounterFunc("farm_sessions_rejected_total", f.rejected.Load)
+	reg.CounterFunc("farm_listener_rejects_total", f.ln.Rejected)
+	reg.Counter("farm_sessions_submitted_total")
+	reg.GaugeFunc("farm_sessions_per_sec", func() float64 {
+		elapsed := time.Since(f.started).Seconds()
+		if elapsed <= 0 {
+			return 0
+		}
+		return float64(f.completed.Load()) / elapsed
+	})
+	reg.Histogram("farm_session_wall_seconds", nil)
+	reg.Histogram("farm_session_rendezvous_seconds", nil)
+	reg.Counter("farm_link_retransmits_total")
+	reg.Counter("farm_link_frames_injured_total")
+}
+
+// newSession allocates the handle; the session context descends from the
+// farm's so Close cancels every run.
+func (f *Farm) newSession(rc router.RunConfig) *Session {
+	ctx, cancel := context.WithCancelCause(f.ctx)
+	if rc.Obs == nil {
+		rc.Obs = f.cfg.Obs
+	}
+	return &Session{
+		id:     f.nextID.Add(1),
+		cfg:    rc,
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+}
+
+// admit validates the config and the farm's acceptance state.
+func (f *Farm) admit(rc router.RunConfig) error {
+	if err := rc.Validate(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if f.draining {
+		return ErrDraining
+	}
+	return nil
+}
+
+// Submit queues one co-simulation for execution, blocking while the
+// queue is full (backpressure) until space frees, ctx ends, or the farm
+// shuts down.
+func (f *Farm) Submit(ctx context.Context, rc router.RunConfig) (*Session, error) {
+	if err := f.admit(rc); err != nil {
+		return nil, err
+	}
+	s := f.newSession(rc)
+	f.sessWG.Add(1)
+	select {
+	case f.queue <- s:
+		f.countSubmitted()
+		return s, nil
+	case <-ctx.Done():
+		f.sessWG.Done()
+		f.rejected.Add(1)
+		return nil, ctx.Err()
+	case <-f.ctx.Done():
+		f.sessWG.Done()
+		return nil, ErrClosed
+	}
+}
+
+// TrySubmit is Submit without the wait: a full queue returns
+// ErrQueueFull immediately.
+func (f *Farm) TrySubmit(rc router.RunConfig) (*Session, error) {
+	if err := f.admit(rc); err != nil {
+		return nil, err
+	}
+	s := f.newSession(rc)
+	f.sessWG.Add(1)
+	select {
+	case f.queue <- s:
+		f.countSubmitted()
+		return s, nil
+	default:
+		f.sessWG.Done()
+		f.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+func (f *Farm) countSubmitted() {
+	if f.cfg.Obs != nil {
+		f.cfg.Obs.Counter("farm_sessions_submitted_total").Inc()
+	}
+}
+
+// Drain stops admission and waits until every accepted session has
+// finished (or ctx ends). The farm stays alive for metric scrapes; call
+// Close afterwards to release the listener and workers.
+func (f *Farm) Drain(ctx context.Context) error {
+	f.mu.Lock()
+	f.draining = true
+	f.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		f.sessWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close shuts the farm down: admission stops, running sessions are
+// cancelled (their links are torn down), queued sessions fail with
+// ErrClosed, workers exit, and the listener closes. Idempotent.
+func (f *Farm) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.draining = true
+	f.mu.Unlock()
+
+	f.cancel(ErrClosed)
+	f.wg.Wait()
+	// Workers are gone; whatever is still queued never ran.
+	for {
+		select {
+		case s := <-f.queue:
+			s.finish(router.RunResult{}, ErrClosed)
+			f.failed.Add(1)
+			f.sessWG.Done()
+		default:
+			return f.ln.Close()
+		}
+	}
+}
+
+func (f *Farm) worker() {
+	defer f.wg.Done()
+	for {
+		select {
+		case <-f.ctx.Done():
+			return
+		case s := <-f.queue:
+			f.runSession(s)
+			f.sessWG.Done()
+		}
+	}
+}
+
+// sessionErr maps a cancelled session's context to its terminal error:
+// a farm-wide shutdown surfaces ErrClosed, a caller's Cancel names the
+// session and its cause.
+func sessionErr(s *Session) error {
+	cause := context.Cause(s.ctx)
+	if errors.Is(cause, ErrClosed) {
+		return ErrClosed
+	}
+	return fmt.Errorf("farm: session %d cancelled: %w", s.id, cause)
+}
+
+// runSession executes one session on the calling worker goroutine.
+func (f *Farm) runSession(s *Session) {
+	if s.ctx.Err() != nil {
+		// Cancelled (or farm closed) while queued.
+		s.finish(router.RunResult{}, sessionErr(s))
+		f.failed.Add(1)
+		return
+	}
+	s.state.Store(int32(StateRunning))
+	f.active.Add(1)
+	start := time.Now()
+	res, err := f.execute(s)
+	if err != nil && s.ctx.Err() != nil {
+		// Any failure after cancellation is reported as the cancellation,
+		// whether it surfaced in the rendezvous or mid-run.
+		err = sessionErr(s)
+	}
+	wall := time.Since(start)
+	f.active.Add(-1)
+	if err != nil {
+		f.failed.Add(1)
+	} else {
+		f.completed.Add(1)
+	}
+	f.observeSession(s, res, err, wall)
+	s.finish(res, err)
+}
+
+// execute establishes the session's base transports and hands them to
+// the shared run entry point.
+func (f *Farm) execute(s *Session) (router.RunResult, error) {
+	var hwB, boardB cosim.Transport
+	switch s.cfg.Transport {
+	case router.TransportTCP:
+		// The hw side registers the session ID on the shared listener
+		// first, then the board dials in and is routed back to it — the
+		// same rendezvous an external board would perform against
+		// cmd/cosim-farm.
+		pend, err := f.ln.Expect(s.id)
+		if err != nil {
+			return router.RunResult{}, err
+		}
+		type dialed struct {
+			tr  cosim.Transport
+			err error
+		}
+		dc := make(chan dialed, 1)
+		go func() {
+			tr, derr := cosim.DialTCPSession(f.ln.Addr(), s.id)
+			dc <- dialed{tr, derr}
+		}()
+		hwB, err = pend.Accept(s.ctx)
+		d := <-dc
+		if err != nil {
+			if d.tr != nil {
+				d.tr.Close()
+			}
+			return router.RunResult{}, err
+		}
+		if d.err != nil {
+			hwB.Close()
+			return router.RunResult{}, d.err
+		}
+		boardB = d.tr
+	default:
+		hwB, boardB = cosim.NewInProcPair(4096)
+	}
+
+	// Cancellation: tearing the base link down makes both endpoints fail
+	// promptly, which aborts the run.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-s.ctx.Done():
+			hwB.Close()
+			boardB.Close()
+		case <-watchDone:
+		}
+	}()
+
+	return router.RunOnTransports(s.cfg, hwB, boardB)
+}
+
+// observeSession records one finished session in the registry.
+func (f *Farm) observeSession(s *Session, res router.RunResult, err error, wall time.Duration) {
+	reg := f.cfg.Obs
+	if reg == nil || err != nil {
+		return
+	}
+	reg.Histogram("farm_session_wall_seconds", nil).ObserveDuration(wall)
+	var rendezvous float64
+	if res.HW.SyncEvents > 0 {
+		rendezvous = res.Link.SyncWait.Seconds() / float64(res.HW.SyncEvents)
+		reg.Histogram("farm_session_rendezvous_seconds", nil).Observe(rendezvous)
+	}
+	reg.Counter("farm_link_retransmits_total").Add(res.Link.Link.Retransmits)
+	reg.Counter("farm_link_frames_injured_total").Add(res.Link.Link.FramesInjured)
+	if f.cfg.PerSessionMetrics {
+		id := fmt.Sprintf("%d", s.id)
+		reg.Gauge(obs.Name("farm_session_rendezvous_avg_seconds", "session", id)).Set(rendezvous)
+		reg.Gauge(obs.Name("farm_session_wall_seconds_last", "session", id)).Set(wall.Seconds())
+	}
+}

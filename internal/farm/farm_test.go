@@ -1,0 +1,287 @@
+package farm
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cosim"
+	"repro/internal/obs"
+	"repro/internal/router"
+)
+
+// outcome is the virtual-time fingerprint of one run: identical
+// fingerprints mean identical simulated behaviour.
+type outcome struct {
+	r      router.Stats
+	cycles uint64
+	ticks  uint64
+}
+
+func fingerprint(res router.RunResult) outcome {
+	return outcome{r: res.Router, cycles: res.BoardCycles, ticks: res.BoardSWTicks}
+}
+
+// quickConfig builds a small, fast workload variant; idx decorrelates
+// the traffic so different sessions do genuinely different work.
+func quickConfig(idx int) router.RunConfig {
+	rc := router.DefaultRunConfig()
+	rc.TB.PacketsPerPort = 2 + idx%3
+	rc.TB.Period = uint64(400 + 100*(idx%4))
+	rc.TB.Seed = int64(idx + 1)
+	rc.TSync = uint64(200 + 150*(idx%3))
+	return rc
+}
+
+func withChaos(rc router.RunConfig, seed int64) router.RunConfig {
+	sc := cosim.UniformScenario(seed, cosim.FaultProfile{
+		Drop: 0.01, Duplicate: 0.01, Reorder: 0.01, Corrupt: 0.01,
+	})
+	rc.Chaos = &sc
+	sess := cosim.DefaultSessionConfig()
+	sess.RetransmitTimeout = 10 * time.Millisecond
+	rc.Resilience = &sess
+	return rc
+}
+
+// TestFarmSessionsMatchSolo is the farm's headline property: N sessions
+// with mixed transports, half of them under chaos+resilience, all
+// running concurrently on one farm, each produce virtual-time results
+// bit-identical to the equivalent solo RunCoSim.
+func TestFarmSessionsMatchSolo(t *testing.T) {
+	const n = 8
+	cfgs := make([]router.RunConfig, n)
+	want := make([]outcome, n)
+	for i := range cfgs {
+		rc := quickConfig(i)
+		if i%2 == 0 {
+			rc.Transport = router.TransportTCP
+		}
+		if i%2 == 1 {
+			rc = withChaos(rc, int64(1000+i))
+		}
+		cfgs[i] = rc
+		res, err := router.RunCoSim(rc)
+		if err != nil {
+			t.Fatalf("solo run %d: %v", i, err)
+		}
+		if res.Conservation != nil {
+			t.Fatalf("solo run %d: %v", i, res.Conservation)
+		}
+		want[i] = fingerprint(res)
+	}
+
+	f, err := New(Config{Workers: 4, QueueDepth: n, Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	sessions := make([]*Session, n)
+	for i, rc := range cfgs {
+		s, err := f.Submit(ctx, rc)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		sessions[i] = s
+	}
+	for i, s := range sessions {
+		res, err := s.Wait(ctx)
+		if err != nil {
+			t.Fatalf("session %d (%v): %v", i, s.State(), err)
+		}
+		if res.Conservation != nil {
+			t.Fatalf("session %d: %v", i, res.Conservation)
+		}
+		if got := fingerprint(res); got != want[i] {
+			t.Errorf("session %d diverged from solo run:\nfarm %+v\nsolo %+v", i, got, want[i])
+		}
+		if s.State() != StateDone {
+			t.Errorf("session %d state %v after Wait", i, s.State())
+		}
+	}
+}
+
+// slowConfig is a run stretched by an emulated link latency, so a worker
+// stays busy long enough for queue assertions to be deterministic.
+func slowConfig() router.RunConfig {
+	rc := router.DefaultRunConfig()
+	rc.TB.PacketsPerPort = 4
+	rc.TB.Period = 500
+	rc.TSync = 200
+	rc.LinkDelay = 500 * time.Microsecond
+	return rc
+}
+
+func waitState(t *testing.T, s *Session, want SessionState) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for s.State() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("session %d never reached %v (at %v)", s.ID(), want, s.State())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFarmQueueBackpressure proves a full queue pushes back: TrySubmit
+// fails fast with ErrQueueFull and Submit honours its context.
+func TestFarmQueueBackpressure(t *testing.T) {
+	f, err := New(Config{Workers: 1, QueueDepth: 1, Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ctx := context.Background()
+
+	running, err := f.Submit(ctx, slowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, StateRunning) // the sole worker is now busy
+
+	queued, err := f.Submit(ctx, slowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queue (depth 1) holds `queued`; admission must now push back.
+	if _, err := f.TrySubmit(slowConfig()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("TrySubmit on full queue: got %v, want ErrQueueFull", err)
+	}
+	shortCtx, cancel := context.WithTimeout(ctx, 10*time.Millisecond)
+	if _, err := f.Submit(shortCtx, slowConfig()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Submit with expiring ctx: got %v", err)
+	}
+	cancel()
+
+	for _, s := range []*Session{running, queued} {
+		if _, err := s.Result(); err != nil {
+			t.Fatalf("session %d: %v", s.ID(), err)
+		}
+	}
+}
+
+// TestFarmDrainDuringActive proves Drain lets every accepted session
+// finish cleanly while refusing new work.
+func TestFarmDrainDuringActive(t *testing.T) {
+	f, err := New(Config{Workers: 2, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ctx := context.Background()
+
+	var sessions []*Session
+	for i := 0; i < 4; i++ {
+		s, err := f.Submit(ctx, slowConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, s)
+	}
+	waitState(t, sessions[0], StateRunning)
+
+	drainCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	if err := f.Drain(drainCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for i, s := range sessions {
+		if s.State() != StateDone {
+			t.Fatalf("session %d not done after Drain", i)
+		}
+		if _, err := s.Result(); err != nil {
+			t.Fatalf("session %d failed during drain: %v", i, err)
+		}
+	}
+	if _, err := f.Submit(ctx, slowConfig()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit after Drain: got %v, want ErrDraining", err)
+	}
+}
+
+// TestFarmCancelSession proves one session can be cancelled mid-run
+// without disturbing the farm.
+func TestFarmCancelSession(t *testing.T) {
+	f, err := New(Config{Workers: 2, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ctx := context.Background()
+
+	rc := slowConfig()
+	rc.Transport = router.TransportTCP
+	victim, err := f.Submit(ctx, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, victim, StateRunning)
+	victim.Cancel()
+	if _, err := victim.Result(); err == nil {
+		t.Fatal("cancelled session reported success")
+	} else if !strings.Contains(err.Error(), "cancelled") {
+		t.Fatalf("cancelled session error does not say so: %v", err)
+	}
+
+	// The farm keeps serving.
+	next, err := f.Submit(ctx, quickConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := next.Result(); err != nil {
+		t.Fatalf("session after a cancellation: %v", err)
+	}
+}
+
+// TestFarmCloseFailsQueued proves Close terminates queued sessions with
+// ErrClosed instead of leaving their waiters hanging.
+func TestFarmCloseFailsQueued(t *testing.T) {
+	f, err := New(Config{Workers: 1, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	running, err := f.Submit(ctx, slowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, StateRunning)
+	queued, err := f.Submit(ctx, slowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := queued.Result(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("queued session after Close: got %v, want ErrClosed", err)
+	}
+	if _, err := running.Result(); err == nil {
+		t.Log("running session finished before the teardown reached it (fine)")
+	}
+	if _, err := f.Submit(ctx, quickConfig(0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: got %v, want ErrClosed", err)
+	}
+}
+
+// TestFarmRejectsInvalidConfig proves admission runs RunConfig.Validate.
+func TestFarmRejectsInvalidConfig(t *testing.T) {
+	f, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rc := router.DefaultRunConfig()
+	sc := cosim.UniformScenario(1, cosim.FaultProfile{Drop: 0.5})
+	rc.Chaos = &sc // chaos without resilience
+	if _, err := f.Submit(context.Background(), rc); err == nil ||
+		!strings.Contains(err.Error(), "Chaos without Resilience") {
+		t.Fatalf("farm admitted an incoherent config: %v", err)
+	}
+}

@@ -105,11 +105,106 @@ func (r RunResult) String() string {
 		r.TSync, r.TransportKind, r.Mode, r.Generated, 100*r.Accuracy, r.Wall, r.HW.SyncEvents)
 }
 
+// Validate rejects incoherent configurations up front, with actionable
+// errors, instead of letting them fail (or hang) mid-run. RunCoSim,
+// RunOnTransports, and farm.Farm.Submit all call it; call it directly
+// when building configs programmatically.
+func (rc RunConfig) Validate() error {
+	if rc.TSync == 0 {
+		return fmt.Errorf("router: invalid RunConfig: TSync is 0, so the simulator would never grant virtual time; set a synchronization interval ≥ 1 (DefaultRunConfig uses 1000)")
+	}
+	if rc.LinkDelay < 0 {
+		return fmt.Errorf("router: invalid RunConfig: LinkDelay %v is negative; use 0 to disable the emulated link latency", rc.LinkDelay)
+	}
+	if rc.Chaos != nil && rc.Resilience == nil {
+		return fmt.Errorf("router: invalid RunConfig: Chaos without Resilience — injected faults would corrupt the protocol mid-run; set Resilience (e.g. cosim.DefaultSessionConfig()) or drop Chaos")
+	}
+	switch rc.Transport {
+	case TransportInProc, TransportTCP:
+	default:
+		return fmt.Errorf("router: invalid RunConfig: unknown TransportKind %d", rc.Transport)
+	}
+	return nil
+}
+
+// stack derives the hw-side transport-stack layers from the config; the
+// board side uses its Peer().
+func (rc RunConfig) stack() cosim.StackConfig {
+	return cosim.StackConfig{Delay: rc.LinkDelay, Chaos: rc.Chaos, Session: rc.Resilience}
+}
+
+// dialSelf establishes a private loopback TCP link between the two sides
+// of one run: listen, accept on a helper goroutine, dial. Every path
+// joins the accept goroutine and closes whatever it produced, so a
+// failed dial can never leak an accepted transport.
+func dialSelf() (hwT, boardT cosim.Transport, err error) {
+	ln, err := cosim.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ln.Close()
+	type accepted struct {
+		tr  cosim.Transport
+		err error
+	}
+	acc := make(chan accepted, 1)
+	go func() {
+		tr, aerr := ln.Accept()
+		acc <- accepted{tr, aerr}
+	}()
+	boardT, err = cosim.DialTCP(ln.Addr())
+	if err != nil {
+		// The accept may still have succeeded (e.g. the dial failed on
+		// a later channel): unblock it, join it, and close its result.
+		ln.Close()
+		if a := <-acc; a.tr != nil {
+			a.tr.Close()
+		}
+		return nil, nil, err
+	}
+	a := <-acc
+	if a.err != nil {
+		boardT.Close()
+		return nil, nil, a.err
+	}
+	return a.tr, boardT, nil
+}
+
 // RunCoSim executes the full paper testbench: the HDL side under
 // DriverSimulate on the calling goroutine, the virtual board on a second
 // goroutine, linked by the chosen transport. It returns when the workload
 // is injected and drained (or the cycle budget runs out).
-func RunCoSim(rc RunConfig) (result RunResult, err error) {
+func RunCoSim(rc RunConfig) (RunResult, error) {
+	if err := rc.Validate(); err != nil {
+		return RunResult{TSync: rc.TSync, TransportKind: rc.Transport, Mode: rc.Mode}, err
+	}
+	var hwT, boardT cosim.Transport
+	switch rc.Transport {
+	case TransportTCP:
+		var err error
+		hwT, boardT, err = dialSelf()
+		if err != nil {
+			return RunResult{TSync: rc.TSync, TransportKind: rc.Transport, Mode: rc.Mode}, err
+		}
+	default:
+		hwT, boardT = cosim.NewInProcPair(4096)
+	}
+	return RunOnTransports(rc, hwT, boardT)
+}
+
+// RunOnTransports executes the testbench over caller-established base
+// transports — the session-reusable entry point: RunCoSim feeds it a
+// private link, while a farm feeds it transports routed through a shared
+// mux listener. It takes ownership of both transports (they are closed
+// by the time it returns) and stacks the config's decorator layers
+// (LinkDelay, Chaos, Resilience) on each side with cosim.BuildStack.
+func RunOnTransports(rc RunConfig, hwBase, boardBase cosim.Transport) (result RunResult, err error) {
+	res := RunResult{TSync: rc.TSync, TransportKind: rc.Transport, Mode: rc.Mode}
+	if err := rc.Validate(); err != nil {
+		hwBase.Close()
+		boardBase.Close()
+		return res, err
+	}
 	if rc.Obs != nil {
 		rc.Obs.Counter("router_runs_started_total").Inc()
 		active := rc.Obs.Gauge("router_active_runs")
@@ -128,55 +223,19 @@ func RunCoSim(rc RunConfig) (result RunResult, err error) {
 			rc.Obs.Gauge("router_last_tsync").Set(float64(result.TSync))
 		}()
 	}
-	res := RunResult{TSync: rc.TSync, TransportKind: rc.Transport, Mode: rc.Mode}
 	tb := BuildTestbench(rc.TB)
 	bs, err := BuildBoardSide(rc.BoardCfg, rc.AppCfg)
 	if err != nil {
+		hwBase.Close()
+		boardBase.Close()
 		return res, err
 	}
 
-	var hwT, boardT cosim.Transport
-	switch rc.Transport {
-	case TransportTCP:
-		ln, err := cosim.ListenTCP("127.0.0.1:0")
-		if err != nil {
-			return res, err
-		}
-		defer ln.Close()
-		acc := make(chan error, 1)
-		go func() {
-			var aerr error
-			hwT, aerr = ln.Accept()
-			acc <- aerr
-		}()
-		boardT, err = cosim.DialTCP(ln.Addr())
-		if err != nil {
-			return res, err
-		}
-		if err := <-acc; err != nil {
-			return res, err
-		}
-	default:
-		hwT, boardT = cosim.NewInProcPair(4096)
-	}
-	defer hwT.Close()
-	defer boardT.Close()
-	if rc.LinkDelay > 0 {
-		hwT = cosim.NewDelayTransport(hwT, rc.LinkDelay)
-		boardT = cosim.NewDelayTransport(boardT, rc.LinkDelay)
-	}
-	if rc.Chaos != nil {
-		// Distinct seeds give the two directions independent fault streams.
-		hwT = cosim.NewChaosTransport(hwT, *rc.Chaos)
-		boardT = cosim.NewChaosTransport(boardT, rc.Chaos.WithSeed(rc.Chaos.Seed+0x5eed))
-	}
-	if rc.Resilience != nil {
-		hwS := cosim.NewSessionTransport(hwT, *rc.Resilience)
-		boardS := cosim.NewSessionTransport(boardT, *rc.Resilience)
-		hwT, boardT = hwS, boardS
-		defer hwS.Close()
-		defer boardS.Close()
-	}
+	stack := rc.stack()
+	hwT, hwClose := cosim.BuildStack(hwBase, stack)
+	boardT, boardClose := cosim.BuildStack(boardBase, stack.Peer())
+	defer hwClose()
+	defer boardClose()
 
 	hw := cosim.NewHWEndpoint(hwT, rc.Mode)
 	bep := cosim.NewBoardEndpoint(boardT)

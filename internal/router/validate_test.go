@@ -1,0 +1,75 @@
+package router
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cosim"
+)
+
+func TestRunConfigValidate(t *testing.T) {
+	ok := DefaultRunConfig()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*RunConfig)
+		want   string // substring the actionable error must contain
+	}{
+		{"zero tsync", func(rc *RunConfig) { rc.TSync = 0 }, "TSync"},
+		{"negative link delay", func(rc *RunConfig) { rc.LinkDelay = -1 }, "LinkDelay"},
+		{"chaos without resilience", func(rc *RunConfig) {
+			sc := cosim.UniformScenario(1, cosim.FaultProfile{Drop: 0.1})
+			rc.Chaos = &sc
+			rc.Resilience = nil
+		}, "Chaos without Resilience"},
+		{"unknown transport", func(rc *RunConfig) { rc.Transport = TransportKind(99) }, "TransportKind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rc := DefaultRunConfig()
+			tc.mutate(&rc)
+			err := rc.Validate()
+			if err == nil {
+				t.Fatal("invalid config accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the problem (%q)", err, tc.want)
+			}
+			// RunCoSim must reject it up front, before any run starts.
+			if _, err := RunCoSim(rc); err == nil {
+				t.Fatal("RunCoSim accepted an invalid config")
+			}
+		})
+	}
+
+	// Chaos paired with resilience is coherent.
+	rc := DefaultRunConfig()
+	sc := cosim.UniformScenario(1, cosim.FaultProfile{Drop: 0.1})
+	sess := cosim.DefaultSessionConfig()
+	rc.Chaos = &sc
+	rc.Resilience = &sess
+	if err := rc.Validate(); err != nil {
+		t.Fatalf("chaos+resilience rejected: %v", err)
+	}
+}
+
+// TestRunOnTransportsClosesOnInvalidConfig proves the session-reusable
+// entry point releases caller-established transports even when it
+// rejects the config.
+func TestRunOnTransportsClosesOnInvalidConfig(t *testing.T) {
+	hwT, boardT := cosim.NewInProcPair(4)
+	rc := DefaultRunConfig()
+	rc.TSync = 0
+	if _, err := RunOnTransports(rc, hwT, boardT); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := hwT.Recv(cosim.ChanInt); err != cosim.ErrClosed {
+		t.Fatalf("hw transport not closed after rejection: %v", err)
+	}
+	if _, err := boardT.Recv(cosim.ChanInt); err != cosim.ErrClosed {
+		t.Fatalf("board transport not closed after rejection: %v", err)
+	}
+}
