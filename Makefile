@@ -9,7 +9,7 @@ BENCH_RUNS ?= 3
 STATICCHECK_MOD := honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK_MOD := golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: all vet build test race fuzz-smoke farm-soak bench-json bench-gate staticcheck govulncheck lint ci
+.PHONY: all vet build test race fuzz-smoke farm-soak bench-json bench-gate bench-adaptive staticcheck govulncheck lint ci
 
 all: build
 
@@ -25,11 +25,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short deterministic shake of both native fuzz targets: new coverage is
+# Short deterministic shake of the native fuzz targets: new coverage is
 # explored for FUZZTIME each, then the corpus properties are re-checked.
 fuzz-smoke:
 	$(GO) test ./internal/cosim/ -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/cosim/ -run '^$$' -fuzz '^FuzzMsgRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cosim/ -run '^$$' -fuzz '^FuzzBatchRoundTrip$$' -fuzztime $(FUZZTIME)
 
 # farm-soak repeats the multi-session farm suite under the race detector
 # — the concurrency gate for the session manager and the mux listener.
@@ -45,6 +46,12 @@ bench-json:
 # the committed baseline (skips cleanly when no baseline is committed).
 bench-gate: bench-json
 	$(GO) run ./cmd/cosim-benchcmp -baseline BENCH_baseline.json -current BENCH_cosim.json
+
+# bench-adaptive proves the adaptive-quantum speedup claim in isolation:
+# the determinism soak plus the Fig.5 adaptive sweep (quick sizing).
+bench-adaptive:
+	$(GO) test -run 'TestAdaptive' -v .
+	$(GO) run ./cmd/cosim-experiments -fig 5a -quick
 
 staticcheck:
 	$(GO) run $(STATICCHECK_MOD) ./...
@@ -67,4 +74,4 @@ lint:
 		echo "lint: govulncheck unavailable (offline); skipped"; \
 	fi
 
-ci: vet build race fuzz-smoke farm-soak lint
+ci: vet build race fuzz-smoke farm-soak bench-adaptive lint

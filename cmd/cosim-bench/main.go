@@ -29,14 +29,16 @@ import (
 // Result is one benchmark's measurement. Fields are flat and stable:
 // cosim-benchcmp and future tooling key on Name and read NsPerOp.
 type Result struct {
-	Name            string  `json:"name"`
-	Runs            int     `json:"runs"`
-	NsPerOp         int64   `json:"ns_per_op"`
-	SyncsPerSec     float64 `json:"syncs_per_sec,omitempty"`
-	BytesPerQuantum float64 `json:"bytes_per_quantum,omitempty"`
-	AccuracyPct     float64 `json:"accuracy_pct,omitempty"`
-	Retransmits     uint64  `json:"retransmits,omitempty"`
-	SessionsPerSec  float64 `json:"sessions_per_sec,omitempty"`
+	Name             string  `json:"name"`
+	Runs             int     `json:"runs"`
+	NsPerOp          int64   `json:"ns_per_op"`
+	SyncsPerSec      float64 `json:"syncs_per_sec,omitempty"`
+	BytesPerQuantum  float64 `json:"bytes_per_quantum,omitempty"`
+	FramesPerQuantum float64 `json:"frames_per_quantum,omitempty"`
+	AllocsPerQuantum float64 `json:"allocs_per_quantum,omitempty"`
+	AccuracyPct      float64 `json:"accuracy_pct,omitempty"`
+	Retransmits      uint64  `json:"retransmits,omitempty"`
+	SessionsPerSec   float64 `json:"sessions_per_sec,omitempty"`
 }
 
 // File is the BENCH_cosim.json schema.
@@ -106,6 +108,25 @@ func benches() []bench {
 	for _, ts := range []uint64{1000, 4000, 6000, 10000, 20000} {
 		out = append(out, cosimBench(fmt.Sprintf("Fig7/Tsync=%d", ts), 100, ts, nil))
 	}
+	// Adaptive regime: the Fig.5 miniature at the pathological TSync=1 —
+	// a rendezvous every cycle — paired with the same workload under
+	// lookahead elongation + frame batching. The pair is the tentpole's
+	// tracked speedup; both report boundaries/sec, so the adaptive run's
+	// elided rendezvous count toward its rate.
+	for _, pt := range []struct {
+		name     string
+		adaptive bool
+	}{{"plain", false}, {"adaptive", true}} {
+		adaptive := pt.adaptive
+		out = append(out, cosimBench(
+			fmt.Sprintf("Adaptive/Fig5/Tsync=1/%s", pt.name), 20, 1,
+			func(rc *router.RunConfig) {
+				rc.Transport = router.TransportTCP
+				rc.TB.Period = 10000
+				rc.Adaptive = adaptive
+				rc.Batch = adaptive
+			}))
+	}
 	// Chaos point: a faulty link healed by the session layer; the
 	// retransmit count is the tracked quantity.
 	out = append(out, cosimBench("Chaos/session", 40, 1000, func(rc *router.RunConfig) {
@@ -152,16 +173,21 @@ func main() {
 	for _, b := range benches() {
 		var best router.RunResult
 		var bestWall time.Duration
+		var bestAllocs uint64
 		for i := 0; i < *runs; i++ {
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
 			start := time.Now()
 			res, err := b.run()
 			wall := time.Since(start)
+			runtime.ReadMemStats(&after)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "cosim-bench: %s: %v\n", b.name, err)
 				os.Exit(1)
 			}
 			if bestWall == 0 || wall < bestWall {
 				best, bestWall = res, wall
+				bestAllocs = after.Mallocs - before.Mallocs
 			}
 		}
 		r := Result{
@@ -171,9 +197,20 @@ func main() {
 			AccuracyPct: 100 * best.Accuracy,
 			Retransmits: best.Link.Link.Retransmits,
 		}
-		if best.HW.SyncEvents > 0 {
-			r.SyncsPerSec = float64(best.HW.SyncEvents) / bestWall.Seconds()
-			r.BytesPerQuantum = float64(best.Link.BytesSent) / float64(best.HW.SyncEvents)
+		// Rates are per quantum boundary: with adaptive elongation the
+		// elided rendezvous still advance virtual time, so they count —
+		// SyncsPerSec is boundaries simulated per wall-clock second.
+		if quanta := best.HW.SyncEvents + best.HW.SyncsElided; quanta > 0 {
+			r.SyncsPerSec = float64(quanta) / bestWall.Seconds()
+			r.BytesPerQuantum = float64(best.Link.BytesSent) / float64(quanta)
+			r.AllocsPerQuantum = float64(bestAllocs) / float64(quanta)
+			// HW-side wire frames: the batch layer's counters when one is
+			// stacked, otherwise one frame per protocol message.
+			frames := best.Batch.Flushes + best.Batch.Bypassed
+			if frames == 0 {
+				frames = best.Link.DataSent + best.Link.IntSent + best.Link.SyncEvents
+			}
+			r.FramesPerQuantum = float64(frames) / float64(quanta)
 		}
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "cosim-bench: %-24s %12d ns/op  %8.1f syncs/s  acc=%.1f%%\n",

@@ -48,7 +48,7 @@ func load(path string) (map[string]int64, error) {
 func main() {
 	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline file")
 	current := flag.String("current", "BENCH_cosim.json", "freshly generated file")
-	prefix := flag.String("prefix", "Fig5/,Farm/", "only gate benchmarks whose name has one of these comma-separated prefixes (empty = all)")
+	prefix := flag.String("prefix", "Fig5/,Farm/,Adaptive/", "only gate benchmarks whose name has one of these comma-separated prefixes (empty = all)")
 	threshold := flag.Float64("threshold", 1.25, "fail when current/baseline ns/op exceeds this ratio")
 	flag.Parse()
 

@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5|6|7|8|a1..a6|e2|all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5|5a|6|7|8|a1..a6|e2|all")
 	quick := flag.Bool("quick", false, "smaller sweeps (CI-sized)")
 	delay := flag.Duration("linkdelay", 0, "extra per-message link latency for fig 6/8 and ablations (e.g. 500us)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -78,6 +78,7 @@ func main() {
 	}
 	all := []gen{
 		{"5", experiments.Fig5},
+		{"5a", experiments.Fig5Adaptive},
 		{"6", experiments.Fig6},
 		{"7", experiments.Fig7},
 		{"8", experiments.Fig8},
@@ -97,7 +98,7 @@ func main() {
 		}
 	}
 	if len(selected) == 0 {
-		fmt.Fprintf(os.Stderr, "cosim-experiments: unknown figure %q (5|6|7|8|a1..a6|e2|all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "cosim-experiments: unknown figure %q (5|5a|6|7|8|a1..a6|e2|all)\n", *fig)
 		flag.Usage()
 		os.Exit(2)
 	}

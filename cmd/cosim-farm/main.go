@@ -27,13 +27,15 @@ import (
 	"repro/internal/router"
 )
 
-func sessionConfig(reg *obs.Registry, idx, packets int, tsync uint64, chaos bool) router.RunConfig {
+func sessionConfig(reg *obs.Registry, idx, packets int, tsync uint64, chaos, adaptive, batch bool) router.RunConfig {
 	rc := router.DefaultRunConfig()
 	rc.Obs = reg
 	rc.Transport = router.TransportTCP
 	rc.TB.PacketsPerPort = packets / rc.TB.Ports
 	rc.TB.Seed = int64(idx + 1)
 	rc.TSync = tsync
+	rc.Adaptive = adaptive
+	rc.Batch = batch
 	if chaos {
 		sc := cosim.UniformScenario(int64(1000+idx), cosim.FaultProfile{
 			Drop: 0.01, Duplicate: 0.01, Corrupt: 0.01,
@@ -53,6 +55,8 @@ func main() {
 	packets := flag.Int("n", 40, "packets injected per session")
 	tsync := flag.Uint64("tsync", 1000, "synchronization interval in cycles")
 	chaosFrac := flag.Float64("chaos-frac", 0.5, "fraction of sessions run under link chaos + resilience")
+	adaptive := flag.Bool("adaptive", false, "enable adaptive quantum elongation (lookahead negotiation)")
+	batch := flag.Bool("batch", false, "enable wire-frame coalescing (one MTBatch per channel flush)")
 	listen := flag.String("listen", "127.0.0.1:0", "mux listener address boards dial")
 	debugAddr := flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. :6060)")
 	hold := flag.Bool("hold", false, "keep the farm and debug server up after the run until interrupted")
@@ -92,7 +96,7 @@ func main() {
 	handles := make([]*farm.Session, 0, *sessions)
 	for i := 0; i < *sessions; i++ {
 		chaos := float64(i) < *chaosFrac*float64(*sessions)
-		s, err := f.Submit(ctx, sessionConfig(reg, i, *packets, *tsync, chaos))
+		s, err := f.Submit(ctx, sessionConfig(reg, i, *packets, *tsync, chaos, *adaptive, *batch))
 		if err != nil {
 			fail("submit session %d: %v", i, err)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,8 +26,7 @@ func main() {
 	corrupt := flag.Float64("corrupt", 0.01, "per-frame bit-flip probability")
 	flag.Parse()
 
-	rc := router.DefaultRunConfig()
-	rc.TSync = 25
+	ctx := context.Background()
 
 	type outcome struct {
 		r      router.Stats
@@ -34,17 +34,16 @@ func main() {
 		ticks  uint64
 	}
 	run := func(label string, chaotic bool) (outcome, cosim.LinkStats) {
-		cfg := rc
+		opts := []router.Option{router.WithTSync(25)}
 		if chaotic {
 			sc := cosim.UniformScenario(*seed, cosim.FaultProfile{
 				Drop: *drop, Duplicate: *drop, Reorder: *reorder, Corrupt: *corrupt,
 			})
-			cfg.Chaos = &sc
 			rcfg := cosim.DefaultSessionConfig()
 			rcfg.RetransmitTimeout = 10 * time.Millisecond
-			cfg.Resilience = &rcfg
+			opts = append(opts, router.WithStack(cosim.StackConfig{Chaos: &sc, Session: &rcfg}))
 		}
-		res, err := router.RunCoSim(cfg)
+		res, err := router.Run(ctx, router.Transports{}, opts...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "chaos: %s run: %v\n", label, err)
 			os.Exit(1)
@@ -67,9 +66,9 @@ func main() {
 
 	// Third run: the same chaotic stack, but wired by hand. BuildStack
 	// composes the layers (chaos beneath the healing session) over
-	// caller-owned base transports, and RunOnTransports executes the
-	// testbench on them — the farm's code path, here in miniature. The
-	// run config carries no layers of its own: the stack is ours.
+	// caller-owned base transports, and router.Run executes the testbench
+	// on them — the farm's code path, here in miniature. The run carries
+	// no layer options of its own: the stack is ours.
 	sc := cosim.UniformScenario(*seed, cosim.FaultProfile{
 		Drop: *drop, Duplicate: *drop, Reorder: *reorder, Corrupt: *corrupt,
 	})
@@ -81,7 +80,7 @@ func main() {
 	boardT, boardClose := cosim.BuildStack(boardBase, stack.Peer())
 	defer hwClose()
 	defer boardClose()
-	res, err := router.RunOnTransports(rc, hwT, boardT)
+	res, err := router.Run(ctx, router.Transports{HW: hwT, Board: boardT}, router.WithTSync(25))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chaos: hand-wired run: %v\n", err)
 		os.Exit(1)
@@ -91,7 +90,7 @@ func main() {
 		"manual", res.Router.Forwarded, res.Generated, res.HW.SyncEvents,
 		res.BoardCycles, res.BoardSWTicks, res.Wall.Round(time.Millisecond))
 	if hand != dirty {
-		fmt.Fprintf(os.Stderr, "chaos: hand-wired stack DIVERGED:\n  RunCoSim %+v\n  manual   %+v\n", dirty, hand)
+		fmt.Fprintf(os.Stderr, "chaos: hand-wired stack DIVERGED:\n  auto   %+v\n  manual %+v\n", dirty, hand)
 		os.Exit(1)
 	}
 	fmt.Println("result bit-identical to the clean run: faults cost time, not accuracy")

@@ -117,6 +117,19 @@ func (b *Board) applyGrant(g cosim.Grant) error {
 	return nil
 }
 
+// Lookahead returns the board's promise for the adaptive-sync
+// negotiation: the number of whole grant ticks that can elapse before
+// anything can become runnable on the board without simulator input.
+// It floors the kernel's cycle bound (conservative) and passes
+// cosim.UnboundedLookahead through when nothing is scheduled at all.
+func (b *Board) Lookahead() uint64 {
+	bound := b.K.NextEventBound()
+	if bound == rtos.WakeNever {
+		return cosim.UnboundedLookahead
+	}
+	return bound / b.cfg.CyclesPerGrantTick
+}
+
 // Run executes the board side of the co-simulation until the simulator
 // finishes (or a protocol error occurs). It owns the calling goroutine.
 func (b *Board) Run(ep *cosim.BoardEndpoint) error {
@@ -135,7 +148,7 @@ func (b *Board) Run(ep *cosim.BoardEndpoint) error {
 		b.stats.Grants++
 		b.stats.TicksGranted += g.Ticks
 		b.K.Advance(g.Ticks * b.cfg.CyclesPerGrantTick)
-		if err := ep.Ack(b.K.Cycles(), b.K.SWTick()); err != nil {
+		if err := ep.Ack(b.K.Cycles(), b.K.SWTick(), b.Lookahead()); err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,10 @@
 package board
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/rtos"
+)
 
 // DMA is an on-board copy engine, the kind of ASIC block the SCM2x0-class
 // SoC offloads bulk transfers to: software programs a source window in a
@@ -32,6 +36,17 @@ func (b *Board) NewDMA(irq, wordsPerTick int) *DMA {
 	}
 	d := &DMA{b: b, irq: irq, wordsPerTick: wordsPerTick}
 	b.K.OnTick(func(uint64) { d.tick() })
+	// Adaptive-sync wake source: a busy engine raises its completion
+	// interrupt a computable number of ticks from now; an idle engine
+	// can only be started by a thread, which zeroes the lookahead by
+	// being runnable.
+	b.K.RegisterWakeSource(func() uint64 {
+		if !d.busy {
+			return rtos.WakeNever
+		}
+		rem := len(d.dst) - d.pos
+		return uint64((rem + d.wordsPerTick - 1) / d.wordsPerTick)
+	})
 	return d
 }
 

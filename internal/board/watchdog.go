@@ -1,6 +1,10 @@
 package board
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/rtos"
+)
 
 // Watchdog is a free-running on-board ASIC synchronized to the hardware
 // timer: if software does not kick it within Timeout HW ticks it records a
@@ -35,6 +39,20 @@ func (b *Board) NewWatchdog(timeoutTicks uint64, irq int) *Watchdog {
 				b.K.PostIRQ(w.irq)
 			}
 		}
+	})
+	// Adaptive-sync wake source: the next bark is a scheduled interrupt
+	// the lookahead must not elongate over. Bark-only watchdogs never
+	// wake a thread, so they don't bound the lookahead (their bark
+	// counter advances identically however the quanta are partitioned).
+	b.K.RegisterWakeSource(func() uint64 {
+		if w.irq < 0 {
+			return rtos.WakeNever
+		}
+		due := w.lastPet + w.timeout
+		if h := w.b.K.HWTick(); due > h {
+			return due - h
+		}
+		return 0
 	})
 	return w
 }

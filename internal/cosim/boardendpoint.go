@@ -21,6 +21,9 @@ type Grant struct {
 	// Interrupts lists interrupt lines raised during the quantum, in
 	// delivery order.
 	Interrupts []uint8
+	// Lookahead is the simulated device's interrupt lookahead promise in
+	// HDL cycles (see Msg.Lookahead); informational on the board side.
+	Lookahead uint64
 	// Finished is true when the simulator ended the co-simulation; all
 	// other fields are zero.
 	Finished bool
@@ -73,7 +76,7 @@ func (ep *BoardEndpoint) WaitGrant() (Grant, error) {
 	default:
 		return Grant{}, fmt.Errorf("cosim: expected clock-grant on CLOCK, got %v", m.Type)
 	}
-	g := Grant{Ticks: m.Ticks, HWCycle: m.HWCycle}
+	g := Grant{Ticks: m.Ticks, HWCycle: m.HWCycle, Lookahead: m.Lookahead}
 	ep.m.SyncEvents++
 	ep.m.TicksGranted += m.Ticks
 	ep.lv.observeSync(wait)
@@ -137,12 +140,15 @@ func (ep *BoardEndpoint) PostReadReq(addr, count uint32) error {
 
 // Ack reports that the board finished its quantum at the given local cycle
 // and software tick. It carries the count of DATA messages the board sent
-// during the quantum so the simulator drains exactly those.
-func (ep *BoardEndpoint) Ack(boardCycle, swTick uint64) error {
+// during the quantum so the simulator drains exactly those, plus the
+// board's lookahead promise in grant ticks (pass NoLookahead when the
+// board does not negotiate adaptive synchronization).
+func (ep *BoardEndpoint) Ack(boardCycle, swTick, lookahead uint64) error {
 	m := Msg{
 		Type:       MTTimeAck,
 		BoardCycle: boardCycle,
 		SWTick:     swTick,
+		Lookahead:  lookahead,
 		DataCount:  ep.dataSent,
 	}
 	ep.dataSent = 0

@@ -49,7 +49,7 @@ func scriptedBoard(t *testing.T, ep *BoardEndpoint, echo bool) chan struct {
 					return
 				}
 			}
-			if err := ep.Ack(cycle, tick); err != nil {
+			if err := ep.Ack(cycle, tick, NoLookahead); err != nil {
 				out <- struct {
 					grants []Grant
 					err    error
@@ -279,7 +279,7 @@ func TestBoardReadReqFlow(t *testing.T) {
 					return
 				}
 			}
-			if err := board.Ack(g.HWCycle, 0); err != nil {
+			if err := board.Ack(g.HWCycle, 0, NoLookahead); err != nil {
 				done <- err
 				return
 			}

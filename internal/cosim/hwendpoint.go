@@ -58,6 +58,14 @@ type HWEndpoint struct {
 	lastBoardCycle uint64
 	lastSWTick     uint64
 
+	// lastLookahead is the board's promise from the most recent
+	// acknowledgement: how many grant ticks can elapse before anything
+	// becomes runnable board-side (see Msg.Lookahead).
+	lastLookahead uint64
+	// localLookahead is the device's interrupt-lookahead promise carried
+	// on the next grant, set by the driver loop via SetLocalLookahead.
+	localLookahead uint64
+
 	// AckTimeout bounds every wait for board traffic (acknowledgements
 	// and announced data). Zero blocks indefinitely. Set it to detect a
 	// crashed or wedged board instead of hanging the simulation.
@@ -136,6 +144,7 @@ func (ep *HWEndpoint) sendGrant(ticks, hwCycle uint64) error {
 		Type:      MTClockGrant,
 		Ticks:     ticks,
 		HWCycle:   hwCycle,
+		Lookahead: ep.localLookahead,
 		DataCount: ep.dataSent,
 		IntCount:  ep.intSent,
 	}
@@ -188,6 +197,7 @@ func (ep *HWEndpoint) consumeAck() error {
 	}
 	ep.lastBoardCycle = ack.BoardCycle
 	ep.lastSWTick = ack.SWTick
+	ep.lastLookahead = ack.Lookahead
 	ep.outstanding--
 	for i := uint32(0); i < ack.DataCount; i++ {
 		dm, err := RecvTimeout(ep.tr, ChanData, ep.AckTimeout)
@@ -203,6 +213,34 @@ func (ep *HWEndpoint) consumeAck() error {
 		ep.visible = append(ep.visible, conv)
 	}
 	return nil
+}
+
+// TrafficPending implements hdlsim.AdaptiveEndpoint: it reports whether
+// the simulator emitted any DATA or INT traffic since the last grant.
+// The adaptive driver loop must rendezvous at the next boundary when it
+// does, whatever the negotiated lookaheads said — the a-posteriori check
+// is what keeps elongation exactly equivalent to plain stepping.
+func (ep *HWEndpoint) TrafficPending() bool {
+	return ep.dataSent > 0 || ep.intSent > 0
+}
+
+// PeerLookahead implements hdlsim.AdaptiveEndpoint: the board's promise,
+// in grant ticks, from the most recent acknowledgement. In pipelined
+// mode the newest acknowledgement describes a quantum that is already
+// one grant stale, so the promise cannot be trusted and the endpoint
+// reports zero, disabling elongation.
+func (ep *HWEndpoint) PeerLookahead() uint64 {
+	if ep.mode == SyncPipelined {
+		return NoLookahead
+	}
+	return ep.lastLookahead
+}
+
+// SetLocalLookahead implements hdlsim.AdaptiveEndpoint: it records the
+// device's interrupt-lookahead promise (HDL cycles) to carry on the next
+// grant.
+func (ep *HWEndpoint) SetLocalLookahead(cycles uint64) {
+	ep.localLookahead = cycles
 }
 
 func toKernelMsg(m Msg) (hdlsim.DataMsg, error) {

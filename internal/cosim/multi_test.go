@@ -153,7 +153,7 @@ func TestMultiBoardSlowestCycleReported(t *testing.T) {
 					return
 				}
 				cy += g.Ticks * mult
-				be.Ack(cy, 0)
+				be.Ack(cy, 0, NoLookahead)
 			}
 		}(NewBoardEndpoint(boardT), mult)
 	}

@@ -112,13 +112,33 @@ func (ep *BoardEndpoint) Observe(reg *obs.Registry) {
 	observeTransportStack(reg, ep.tr, "board")
 }
 
-// observeTransportStack walks a wrapper chain and publishes the
-// resilience counters of the first session layer it finds.
+// Instrumentable is the single instrumentation hook shared by endpoints,
+// transport layers and the farm: anything that can publish its counters
+// into a registry implements it. Endpoint Observe walks the transport
+// stack (via Unwrap) and invokes it on every layer that provides it, so
+// a new decorator becomes observable by implementing this interface —
+// no endpoint or call-site changes.
+type Instrumentable interface {
+	Observe(reg *obs.Registry)
+}
+
+// sideSetter is the optional companion of Instrumentable: a layer that
+// labels its metrics with the link side implements it to receive the
+// side ("hw" / "board") before Observe is called.
+type sideSetter interface {
+	setObserveSide(side string)
+}
+
+// observeTransportStack walks the wrapper chain and publishes the
+// counters of every layer that implements Instrumentable, stamping the
+// side label on layers that accept one.
 func observeTransportStack(reg *obs.Registry, tr Transport, side string) {
 	for t := tr; t != nil; {
-		if s, ok := t.(*SessionTransport); ok {
-			s.Observe(reg, side)
-			return
+		if ss, ok := t.(sideSetter); ok {
+			ss.setObserveSide(side)
+		}
+		if in, ok := t.(Instrumentable); ok {
+			in.Observe(reg)
 		}
 		u, ok := t.(Unwrapper)
 		if !ok {
@@ -128,10 +148,18 @@ func observeTransportStack(reg *obs.Registry, tr Transport, side string) {
 	}
 }
 
-// Observe registers scrape-time readers over the session's resilience
-// counters, so a scrape harvests them incrementally from the live
-// atomics instead of waiting for the post-run Metrics harvest.
-func (s *SessionTransport) Observe(reg *obs.Registry, side string) {
+// setObserveSide implements sideSetter.
+func (s *SessionTransport) setObserveSide(side string) { s.obsSide = side }
+
+// Observe implements Instrumentable: it registers scrape-time readers
+// over the session's resilience counters, so a scrape harvests them
+// incrementally from the live atomics instead of waiting for the
+// post-run Metrics harvest.
+func (s *SessionTransport) Observe(reg *obs.Registry) {
+	side := s.obsSide
+	if side == "" {
+		side = "link"
+	}
 	name := func(base string) string { return obs.Name(base, "side", side) }
 	reg.CounterFunc(name("cosim_session_retransmits_total"), s.retransmits.Load)
 	reg.CounterFunc(name("cosim_session_reconnects_total"), s.reconnects.Load)

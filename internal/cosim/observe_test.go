@@ -85,7 +85,7 @@ func TestEndpointObservePublishesLive(t *testing.T) {
 				if err := bep.PostWrite(0x10, []uint32{1, 2}); err != nil {
 					return err
 				}
-				if err := bep.Ack(g.HWCycle, 1); err != nil {
+				if err := bep.Ack(g.HWCycle, 1, NoLookahead); err != nil {
 					return err
 				}
 			}

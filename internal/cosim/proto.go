@@ -19,10 +19,14 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
+	"sync"
 )
 
-// ProtocolVersion guards against mismatched endpoints.
-const ProtocolVersion uint16 = 1
+// ProtocolVersion guards against mismatched endpoints. Version 2 added
+// the lookahead fields on clock grants and time acknowledgements and the
+// MTBatch coalescing frame.
+const ProtocolVersion uint16 = 2
 
 // Channel identifies one of the three logical ports of the link.
 type Channel uint8
@@ -101,6 +105,15 @@ const (
 	// to, so one listener can route many boards to their runs (see
 	// MuxListener). A plain Listener never sees this frame.
 	MTAttach
+	// MTBatch (any channel, either direction): a coalescing envelope that
+	// carries every message of one quantum-boundary flush as a single
+	// frame. Count holds the number of inner messages; Raw holds their
+	// concatenated bodies, each prefixed by its u32 length (the same
+	// framing the plain codec uses, minus the outer prefix). One batch
+	// costs one transport send — and, above a session layer, one
+	// sequenced/CRC'd/acknowledged envelope — instead of Count of them.
+	// See BatchTransport.
+	MTBatch
 )
 
 // String implements fmt.Stringer.
@@ -134,6 +147,8 @@ func (t MsgType) String() string {
 		return "heartbeat"
 	case MTAttach:
 		return "attach"
+	case MTBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -160,6 +175,13 @@ type Msg struct {
 	SWTick     uint64
 	DataCount  uint32
 	IntCount   uint32
+	// Lookahead is the adaptive-synchronization bound (see hwendpoint.go).
+	// On MTClockGrant it is the simulator's promise, in HDL clock cycles
+	// from the grant, before which the device will raise no interrupt; on
+	// MTTimeAck it is the board's promise, in grant ticks from the ack,
+	// before which no thread can become runnable. NoLookahead (0) makes no
+	// promise; UnboundedLookahead means no event is scheduled at all.
+	Lookahead uint64
 
 	// Hello fields.
 	Version uint16
@@ -170,6 +192,16 @@ type Msg struct {
 	Raw []byte // complete inner message body (type byte + payload)
 }
 
+// Lookahead sentinels (see Msg.Lookahead).
+const (
+	// NoLookahead promises nothing: an event may be imminent, so the
+	// master must rendezvous at every TSync boundary.
+	NoLookahead uint64 = 0
+	// UnboundedLookahead reports that no future event is scheduled at
+	// all on the promising side.
+	UnboundedLookahead uint64 = math.MaxUint64
+)
+
 // MaxWords bounds the Words slice on the wire to keep a corrupted length
 // prefix from allocating unbounded memory.
 const MaxWords = 1 << 16
@@ -179,15 +211,33 @@ const MaxWords = 1 << 16
 // unwrapped message body (a MaxWords data-write).
 const maxFrameBody = 4*(MaxWords+8) + 32
 
+// maxBatchMsgs bounds the number of inner messages one MTBatch may carry
+// on the wire, so a corrupted count cannot drive an allocation loop.
+const maxBatchMsgs = 1 << 14
+
+// bufPool recycles codec scratch buffers: every Encode/WireSize body
+// build and every Decode frame read draws from it instead of allocating.
+// decodeBody copies variable-length payloads (Words, Raw) out of the
+// buffer, so returning it after use is safe.
+var bufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
+}
+
+func getBuf() *[]byte  { return bufPool.Get().(*[]byte) }
+func putBuf(b *[]byte) { *b = (*b)[:0]; bufPool.Put(b) }
+
 // Encode writes the message in its framed wire format:
 //
 //	uint32  payload length (bytes, excluding this prefix)
 //	uint8   type
 //	...     type-specific payload, little-endian
 func (m *Msg) Encode(w io.Writer) error {
-	body := m.appendBody(make([]byte, 4, 64))
+	bp := getBuf()
+	body := m.appendBody(append(*bp, 0, 0, 0, 0))
 	binary.LittleEndian.PutUint32(body[:4], uint32(len(body)-4))
 	_, err := w.Write(body)
+	*bp = body
+	putBuf(bp)
 	return err
 }
 
@@ -201,11 +251,13 @@ func (m *Msg) appendBody(b []byte) []byte {
 	case MTClockGrant:
 		b = le.AppendUint64(b, m.Ticks)
 		b = le.AppendUint64(b, m.HWCycle)
+		b = le.AppendUint64(b, m.Lookahead)
 		b = le.AppendUint32(b, m.DataCount)
 		b = le.AppendUint32(b, m.IntCount)
 	case MTTimeAck, MTFinishAck:
 		b = le.AppendUint64(b, m.BoardCycle)
 		b = le.AppendUint64(b, m.SWTick)
+		b = le.AppendUint64(b, m.Lookahead)
 		b = le.AppendUint32(b, m.DataCount)
 	case MTFinish:
 		b = le.AppendUint64(b, m.HWCycle)
@@ -231,6 +283,9 @@ func (m *Msg) appendBody(b []byte) []byte {
 	case MTAttach:
 		b = le.AppendUint16(b, m.Version)
 		b = le.AppendUint64(b, m.Seq)
+	case MTBatch:
+		b = le.AppendUint32(b, m.Count)
+		b = append(b, m.Raw...)
 	default:
 		panic(fmt.Sprintf("cosim: encode of unknown message type %d", m.Type))
 	}
@@ -247,11 +302,19 @@ func Decode(r io.Reader) (Msg, error) {
 	if n == 0 || n > maxFrameBody {
 		return Msg{}, fmt.Errorf("cosim: implausible frame length %d", n)
 	}
-	body := make([]byte, n)
+	bp := getBuf()
+	if cap(*bp) < int(n) {
+		*bp = make([]byte, n)
+	}
+	body := (*bp)[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
+		putBuf(bp)
 		return Msg{}, fmt.Errorf("cosim: truncated frame: %w", err)
 	}
-	return decodeBody(body)
+	m, err := decodeBody(body)
+	*bp = body
+	putBuf(bp)
+	return m, err
 }
 
 func decodeBody(body []byte) (Msg, error) {
@@ -271,20 +334,22 @@ func decodeBody(body []byte) (Msg, error) {
 		}
 		m.Version = le.Uint16(p)
 	case MTClockGrant:
-		if err := need(24); err != nil {
+		if err := need(32); err != nil {
 			return m, err
 		}
 		m.Ticks = le.Uint64(p)
 		m.HWCycle = le.Uint64(p[8:])
-		m.DataCount = le.Uint32(p[16:])
-		m.IntCount = le.Uint32(p[20:])
+		m.Lookahead = le.Uint64(p[16:])
+		m.DataCount = le.Uint32(p[24:])
+		m.IntCount = le.Uint32(p[28:])
 	case MTTimeAck, MTFinishAck:
-		if err := need(20); err != nil {
+		if err := need(28); err != nil {
 			return m, err
 		}
 		m.BoardCycle = le.Uint64(p)
 		m.SWTick = le.Uint64(p[8:])
-		m.DataCount = le.Uint32(p[16:])
+		m.Lookahead = le.Uint64(p[16:])
+		m.DataCount = le.Uint32(p[24:])
 	case MTFinish:
 		if err := need(8); err != nil {
 			return m, err
@@ -343,6 +408,18 @@ func decodeBody(body []byte) (Msg, error) {
 		}
 		m.Version = le.Uint16(p)
 		m.Seq = le.Uint64(p[2:])
+	case MTBatch:
+		if err := need(4); err != nil {
+			return m, err
+		}
+		m.Count = le.Uint32(p)
+		if m.Count > maxBatchMsgs {
+			return m, fmt.Errorf("cosim: batch of %d messages exceeds limit", m.Count)
+		}
+		// The inner framing is opaque here; splitBatch validates it when
+		// the batch is opened, so a corrupted batch fails loudly there
+		// instead of poisoning the codec's closure property.
+		m.Raw = append([]byte(nil), p[4:]...)
 	default:
 		return m, fmt.Errorf("cosim: unknown message type %d", body[0])
 	}
@@ -352,5 +429,9 @@ func decodeBody(body []byte) (Msg, error) {
 // WireSize returns the number of bytes the message occupies on the wire,
 // including the frame prefix; used by the metrics counters.
 func (m *Msg) WireSize() int {
-	return len(m.appendBody(make([]byte, 4, 64)))
+	bp := getBuf()
+	*bp = m.appendBody(append(*bp, 0, 0, 0, 0))
+	n := len(*bp)
+	putBuf(bp)
+	return n
 }

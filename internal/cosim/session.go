@@ -128,6 +128,10 @@ type failEvent struct {
 type SessionTransport struct {
 	cfg SessionConfig
 
+	// obsSide is the side label ("hw" / "board") stamped on published
+	// metrics, set by the endpoint's Observe walk via setObserveSide.
+	obsSide string
+
 	mu           sync.Mutex
 	inner        Transport
 	gen          int

@@ -22,6 +22,11 @@ type StackConfig struct {
 	// Session, when non-nil, stacks the resilience layer on top (see
 	// SessionTransport).
 	Session *SessionConfig
+	// Batch, when true, stacks the wire-frame coalescing layer topmost
+	// (see BatchTransport): a quantum's DATA/INT/CLOCK messages ride in
+	// one MTBatch frame per channel flush. Both sides must enable it
+	// together (a batch frame is opaque to a peer without the layer).
+	Batch bool
 }
 
 // Peer derives the configuration for the opposite side of the link: the
@@ -38,8 +43,10 @@ func (c StackConfig) Peer() StackConfig {
 
 // BuildStack wraps base in the configured decorator layers, encoding the
 // one correct order once: delay innermost (it models the physical link),
-// chaos above it (faults hit the delayed link), and the resilient
-// session on top (it must see — and repair — everything below). It
+// chaos above it (faults hit the delayed link), the resilient
+// session above that (it must see — and repair — everything below), and
+// the batching coalescer topmost (one batch becomes one session frame,
+// so a whole quantum is retransmitted — or lost to chaos — as a unit). It
 // returns the top of the stack and a close function that tears the whole
 // stack down; calling it more than once is safe, and closing the top
 // transport directly is equivalent (every layer forwards Close), so the
@@ -57,6 +64,9 @@ func BuildStack(base Transport, cfg StackConfig) (Transport, func() error) {
 	}
 	if cfg.Session != nil {
 		top = NewSessionTransport(top, *cfg.Session)
+	}
+	if cfg.Batch {
+		top = NewBatchTransport(top)
 	}
 	closeTop := top
 	closeFn := func() error {

@@ -72,11 +72,11 @@ func SummarizeMsg(m Msg) string {
 	case MTHello:
 		return fmt.Sprintf("hello v%d", m.Version)
 	case MTClockGrant:
-		return fmt.Sprintf("clock-grant ticks=%d hw=%d data=%d int=%d",
-			m.Ticks, m.HWCycle, m.DataCount, m.IntCount)
+		return fmt.Sprintf("clock-grant ticks=%d hw=%d data=%d int=%d la=%d",
+			m.Ticks, m.HWCycle, m.DataCount, m.IntCount, m.Lookahead)
 	case MTTimeAck:
-		return fmt.Sprintf("time-ack board=%d tick=%d data=%d",
-			m.BoardCycle, m.SWTick, m.DataCount)
+		return fmt.Sprintf("time-ack board=%d tick=%d data=%d la=%d",
+			m.BoardCycle, m.SWTick, m.DataCount, m.Lookahead)
 	case MTFinish:
 		return fmt.Sprintf("finish hw=%d", m.HWCycle)
 	case MTFinishAck:
@@ -97,6 +97,8 @@ func SummarizeMsg(m Msg) string {
 		return fmt.Sprintf("session-nack seq=%d", m.Seq)
 	case MTHeartbeat:
 		return fmt.Sprintf("heartbeat n=%d", m.Seq)
+	case MTBatch:
+		return fmt.Sprintf("batch n=%d raw=%d", m.Count, len(m.Raw))
 	default:
 		return m.Type.String()
 	}

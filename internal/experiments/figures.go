@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -41,6 +42,13 @@ func (o Options) runConfig() router.RunConfig {
 	return rc
 }
 
+// run executes one configured co-simulation through the router.Run entry
+// point; the sweeps never need cancellation, so the background context is
+// fine.
+func run(rc router.RunConfig) (router.RunResult, error) {
+	return router.Run(context.Background(), router.Transports{}, router.WithConfig(rc))
+}
+
 // fig5Delay is the emulated link latency for Figure 5. The overhead
 // figures only make sense when per-sync cost dominates per-cycle cost, as
 // on the paper's physical network.
@@ -78,7 +86,7 @@ func Fig5(opt Options) (*Table, error) {
 			rc.TSync = ts
 			rc.Transport = router.TransportTCP
 			rc.LinkDelay = delay
-			res, err := router.RunCoSim(rc)
+			res, err := run(rc)
 			if err != nil {
 				return nil, fmt.Errorf("fig5 N=%d Tsync=%d: %w", n, ts, err)
 			}
@@ -97,6 +105,66 @@ func Fig5(opt Options) (*Table, error) {
 	t.Header = append(t.Header, "ratio(1000/10000)")
 	t.Note("emulated link latency %v per message; packet period %d cycles", delay, period)
 	t.Note("paper: linear in N; ratio time(Tsync=1000)/time(Tsync=10000) ≈ 8, constant in N; measured mean ratio %.2f", ratioSum/float64(len(ns)))
+	return t, nil
+}
+
+// Fig5Adaptive extends Figure 5 with the adaptive-synchronization sweep:
+// the same latency-dominated workload, once with plain quantum stepping
+// and once with lookahead-negotiated elongation plus wire-frame batching.
+// The simulated-time results must match bit for bit (the sweep fails
+// otherwise); only the rendezvous count — and with it the wall time —
+// drops.
+func Fig5Adaptive(opt Options) (*Table, error) {
+	ns := []int{20, 40, 60, 80, 100}
+	period := uint64(50000)
+	delay := fig5Delay
+	const tsync = 1000
+	if opt.Quick {
+		ns = []int{20, 40, 60}
+		period = 20000
+		delay = 500 * time.Microsecond
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 5 (adaptive): plain vs adaptive+batch quantum, Tsync=%d", tsync),
+		Header: []string{"N", "wall_plain[s]", "wall_adpt[s]", "syncs_plain", "syncs_adpt", "elided", "speedup"},
+	}
+	mk := func(n int, adaptive bool) router.RunConfig {
+		rc := opt.runConfig()
+		rc.TB.PacketsPerPort = n / rc.TB.Ports
+		rc.TB.Period = period
+		rc.TSync = tsync
+		rc.Transport = router.TransportTCP
+		rc.LinkDelay = delay
+		rc.Adaptive = adaptive
+		rc.Batch = adaptive
+		return rc
+	}
+	for _, n := range ns {
+		plain, err := run(mk(n, false))
+		if err != nil {
+			return nil, fmt.Errorf("fig5a N=%d plain: %w", n, err)
+		}
+		adpt, err := run(mk(n, true))
+		if err != nil {
+			return nil, fmt.Errorf("fig5a N=%d adaptive: %w", n, err)
+		}
+		opt.log("fig5a: plain %v", plain)
+		opt.log("fig5a: adaptive %v (elided %d)", adpt, adpt.HW.SyncsElided)
+		if plain.BoardCycles != adpt.BoardCycles || plain.BoardSWTicks != adpt.BoardSWTicks ||
+			plain.SimCycles != adpt.SimCycles || plain.Router != adpt.Router {
+			return nil, fmt.Errorf("fig5a N=%d: adaptive run diverged from plain: board %d/%d vs %d/%d, hw %d vs %d",
+				n, plain.BoardCycles, plain.BoardSWTicks, adpt.BoardCycles, adpt.BoardSWTicks,
+				plain.SimCycles, adpt.SimCycles)
+		}
+		t.Append(n,
+			fmt.Sprintf("%.3f", plain.Wall.Seconds()),
+			fmt.Sprintf("%.3f", adpt.Wall.Seconds()),
+			plain.HW.SyncEvents, adpt.HW.SyncEvents, adpt.HW.SyncsElided,
+			fmt.Sprintf("%.2f", plain.Wall.Seconds()/adpt.Wall.Seconds()))
+	}
+	t.Note("emulated link latency %v per message; packet period %d cycles", delay, period)
+	t.Note("every row's simulated-time result is verified bit-identical between the two runs:")
+	t.Note("elongation only skips rendezvous the lookahead negotiation proves unobservable")
 	return t, nil
 }
 
@@ -154,7 +222,7 @@ func Fig6(opt Options) (*Table, error) {
 			rc.TSync = ts
 			rc.Transport = router.TransportTCP
 			rc.LinkDelay = opt.LinkDelay
-			res, err := router.RunCoSim(rc)
+			res, err := run(rc)
 			if err != nil {
 				return nil, fmt.Errorf("fig6 N=%d Tsync=%d: %w", n, ts, err)
 			}
@@ -220,7 +288,7 @@ func accuracyRun(opt Options, n int, tsync uint64) (router.RunResult, error) {
 	rc.TB.PacketsPerPort = n / rc.TB.Ports
 	rc.TSync = tsync
 	rc.Transport = router.TransportInProc
-	return router.RunCoSim(rc)
+	return run(rc)
 }
 
 // Fig8 reproduces the paper's closing design-exploration remark: because
@@ -273,7 +341,7 @@ func wallRun(opt Options, n int, tsync uint64, delay time.Duration) (router.RunR
 	rc.TSync = tsync
 	rc.Transport = router.TransportTCP
 	rc.LinkDelay = delay
-	return router.RunCoSim(rc)
+	return run(rc)
 }
 
 // AblationPolicies compares the coupling disciplines the paper situates
@@ -323,13 +391,13 @@ func AblationTiming(opt Options) (*Table, error) {
 		rcI := opt.runConfig()
 		rcI.TB.PacketsPerPort = 25
 		rcI.TSync = ts
-		resI, err := router.RunCoSim(rcI)
+		resI, err := run(rcI)
 		if err != nil {
 			return nil, err
 		}
 		rcA := rcI
 		rcA.AppCfg.Timing = router.TimingAnnotated
-		resA, err := router.RunCoSim(rcA)
+		resA, err := run(rcA)
 		if err != nil {
 			return nil, err
 		}
@@ -353,7 +421,7 @@ func AblationTransport(opt Options) (*Table, error) {
 		rc.TB.PacketsPerPort = 5
 		rc.TSync = 1
 		rc.Transport = tr
-		res, err := router.RunCoSim(rc)
+		res, err := run(rc)
 		if err != nil {
 			return nil, err
 		}
@@ -382,7 +450,7 @@ func AblationMultiBoard(opt Options) (*Table, error) {
 		rc.AppCfg.AnnotatedPerWord = 16
 		return rc
 	}
-	single, err := router.RunCoSim(mkCfg())
+	single, err := run(mkCfg())
 	if err != nil {
 		return nil, err
 	}
@@ -420,7 +488,7 @@ func AblationSyncMode(opt Options) (*Table, error) {
 			rc.Transport = router.TransportTCP
 			rc.LinkDelay = opt.LinkDelay
 			rc.Mode = mode
-			res, err := router.RunCoSim(rc)
+			res, err := run(rc)
 			if err != nil {
 				return nil, err
 			}

@@ -453,20 +453,9 @@ func (f *Farm) execute(s *Session) (router.RunResult, error) {
 		hwB, boardB = cosim.NewInProcPair(4096)
 	}
 
-	// Cancellation: tearing the base link down makes both endpoints fail
-	// promptly, which aborts the run.
-	watchDone := make(chan struct{})
-	defer close(watchDone)
-	go func() {
-		select {
-		case <-s.ctx.Done():
-			hwB.Close()
-			boardB.Close()
-		case <-watchDone:
-		}
-	}()
-
-	return router.RunOnTransports(s.cfg, hwB, boardB)
+	// Cancellation is router.Run's job: it watches s.ctx and tears the
+	// transport stacks down, aborting both sides promptly.
+	return router.Run(s.ctx, router.Transports{HW: hwB, Board: boardB}, router.WithConfig(s.cfg))
 }
 
 // observeSession records one finished session in the registry.

@@ -224,6 +224,50 @@ func (s *Simulator) RaiseDriverInterrupt(irq uint8) {
 	s.intRaised = append(s.intRaised, irq)
 }
 
+// UnboundedLookahead is the lookahead value of a device (or board) with no
+// scheduled traffic at all. It mirrors cosim.UnboundedLookahead.
+const UnboundedLookahead = ^uint64(0)
+
+// SetInterruptLookahead installs the device model's lookahead oracle for
+// adaptive synchronization: fn returns a lower bound, in clock cycles from
+// now, before the model can next raise an interrupt or post data to the
+// board (0 when one may be imminent, UnboundedLookahead when nothing is
+// scheduled). The hook is purely advisory — elongation correctness rests
+// on the endpoint's a-posteriori TrafficPending check — so a model that
+// breaks its promise costs one extra rendezvous, never wrong results.
+// A nil hook (the default) reports UnboundedLookahead.
+func (s *Simulator) SetInterruptLookahead(fn func() uint64) {
+	s.intLookahead = fn
+}
+
+// interruptLookahead evaluates the installed oracle.
+func (s *Simulator) interruptLookahead() uint64 {
+	if s.intLookahead == nil {
+		return UnboundedLookahead
+	}
+	return s.intLookahead()
+}
+
+// AdaptiveEndpoint is the optional extension of DriverEndpoint that a
+// transport endpoint implements to support adaptive quantum elongation
+// (cosim.HWEndpoint does). DriverSimulate type-asserts for it when
+// DriverConfig.Adaptive is set and falls back to plain TSync stepping when
+// the endpoint does not provide it.
+type AdaptiveEndpoint interface {
+	DriverEndpoint
+	// TrafficPending reports whether any DATA or INT message was sent
+	// since the last grant. A boundary with pending traffic must
+	// rendezvous: the traffic is announced by the very next grant.
+	TrafficPending() bool
+	// PeerLookahead returns the board's promise, in grant ticks, from the
+	// most recent acknowledgement: how many ticks can elapse before
+	// anything board-side can become runnable without simulator input.
+	PeerLookahead() uint64
+	// SetLocalLookahead records the device's interrupt-lookahead promise
+	// (clock cycles) to be carried on the next grant.
+	SetLocalLookahead(cycles uint64)
+}
+
 // routeData dispatches one board→HW DATA message: writes land in the
 // covering DriverIn; read requests are served from the covering DriverOut.
 func (s *Simulator) routeData(ep DriverEndpoint, m DataMsg) error {
@@ -282,9 +326,26 @@ type DriverConfig struct {
 	// TotalCycles bounds the co-simulation length.
 	TotalCycles uint64
 	// StopEarly, if non-nil, is polled at every sync boundary; returning
-	// true ends the co-simulation before TotalCycles.
+	// true ends the co-simulation before TotalCycles. It must be a pure
+	// predicate of simulation state: with Adaptive set it is also polled
+	// at elided boundaries so the run ends at the same cycle it would
+	// have without elongation.
 	StopEarly func() bool
+	// Adaptive enables lookahead-negotiated quantum elongation: a TSync
+	// boundary is skipped (no CLOCK rendezvous) when no traffic was sent
+	// since the last grant, the accumulated grant stays strictly inside
+	// the board's promised lookahead, and the device model does not
+	// expect to interrupt within the next TSync cycles. Requires an
+	// endpoint implementing AdaptiveEndpoint; silently ignored otherwise.
+	// Elongated runs produce bit-identical simulated-time results.
+	Adaptive bool
+	// MaxQuantum caps the accumulated elongated quantum in clock cycles.
+	// 0 means 64×TSync. It is clamped up to at least TSync.
+	MaxQuantum uint64
 }
+
+// defaultMaxQuantumFactor scales TSync into the default MaxQuantum cap.
+const defaultMaxQuantumFactor = 64
 
 // DriverStats reports what DriverSimulate did.
 type DriverStats struct {
@@ -293,6 +354,7 @@ type DriverStats struct {
 	DataIn      uint64 // board→HW DATA messages routed
 	DataOut     uint64 // HW→board DATA messages sent (posted + read resps)
 	Interrupts  uint64 // INT-port packets sent
+	SyncsElided uint64 // TSync boundaries skipped by adaptive elongation
 	LastBoardCy uint64 // board local cycle at the final sync
 }
 
@@ -311,6 +373,21 @@ func (s *Simulator) DriverSimulate(clk *Clock, ep DriverEndpoint, cfg DriverConf
 	if err := s.Elaborate(); err != nil {
 		return st, err
 	}
+	aep, adaptive := ep.(AdaptiveEndpoint)
+	adaptive = adaptive && cfg.Adaptive
+	maxQ := cfg.MaxQuantum
+	if maxQ == 0 {
+		maxQ = cfg.TSync * defaultMaxQuantumFactor
+		if maxQ/defaultMaxQuantumFactor != cfg.TSync { // overflow
+			maxQ = UnboundedLookahead
+		}
+	}
+	if maxQ < cfg.TSync {
+		maxQ = cfg.TSync
+	}
+	// pending accumulates the ticks of boundaries elided by adaptive
+	// elongation; they are granted in one piece at the next rendezvous.
+	pending := uint64(0)
 	sinceSync := uint64(0)
 	for st.Cycles < cfg.TotalCycles && !s.stopped {
 		// (1) Check for the presence of data on DATA_PORT.
@@ -357,22 +434,54 @@ func (s *Simulator) DriverSimulate(clk *Clock, ep DriverEndpoint, cfg DriverConf
 			}
 			d.posted = d.posted[:0]
 		}
-		// CLOCK-port synchronization every TSync cycles.
+		// CLOCK-port synchronization every TSync cycles. With adaptive
+		// elongation a boundary may be elided: the ticks accumulate in
+		// `pending` and are granted in one piece later. Eliding is safe
+		// exactly when (a) no traffic was sent since the last grant — the
+		// a-posteriori check that guarantees bit-identical results even
+		// when a lookahead promise was wrong, (b) the accumulated grant
+		// stays strictly inside the board's promised lookahead (strict,
+		// because an event exactly at the boundary must see its own
+		// rendezvous), (c) the device model does not expect to interrupt
+		// within the next quantum, (d) the cap has room, and (e) the run
+		// is not stopping at this boundary.
 		if sinceSync >= cfg.TSync {
-			bc, err := ep.Sync(sinceSync, st.Cycles)
-			if err != nil {
-				return st, err
+			acc := pending + sinceSync
+			elide := false
+			if adaptive &&
+				!aep.TrafficPending() &&
+				acc <= maxQ-cfg.TSync &&
+				acc < aep.PeerLookahead() &&
+				s.interruptLookahead() >= cfg.TSync &&
+				!(cfg.StopEarly != nil && cfg.StopEarly()) {
+				elide = true
 			}
-			st.LastBoardCy = bc
-			st.SyncEvents++
-			sinceSync = 0
-			if cfg.StopEarly != nil && cfg.StopEarly() {
-				break
+			if elide {
+				pending = acc
+				sinceSync = 0
+				st.SyncsElided++
+			} else {
+				if adaptive {
+					aep.SetLocalLookahead(s.interruptLookahead())
+				}
+				bc, err := ep.Sync(acc, st.Cycles)
+				if err != nil {
+					return st, err
+				}
+				st.LastBoardCy = bc
+				st.SyncEvents++
+				pending, sinceSync = 0, 0
+				if cfg.StopEarly != nil && cfg.StopEarly() {
+					break
+				}
 			}
 		}
 	}
-	if sinceSync > 0 {
-		bc, err := ep.Sync(sinceSync, st.Cycles)
+	if pending+sinceSync > 0 {
+		if adaptive {
+			aep.SetLocalLookahead(s.interruptLookahead())
+		}
+		bc, err := ep.Sync(pending+sinceSync, st.Cycles)
 		if err != nil {
 			return st, err
 		}

@@ -113,10 +113,11 @@ type Simulator struct {
 	deltaOverflow       error
 
 	// Driver (co-simulation) state; see driver.go.
-	driverIns  []*DriverIn
-	driverOuts []*DriverOut
-	intWatches []*intWatch
-	intRaised  []uint8
+	driverIns    []*DriverIn
+	driverOuts   []*DriverOut
+	intWatches   []*intWatch
+	intRaised    []uint8
+	intLookahead func() uint64 // see SetInterruptLookahead
 
 	// cycleHooks run after every completed clock cycle in RunCycles /
 	// DriverSimulate; used by tracing and tests.

@@ -1,7 +1,11 @@
 package router
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
+	"math"
 	"time"
 
 	"repro/internal/board"
@@ -9,6 +13,9 @@ import (
 	"repro/internal/hdlsim"
 	"repro/internal/obs"
 )
+
+// errHalfTransports rejects a Transports value with exactly one side set.
+var errHalfTransports = errors.New("router: Transports must set both HW and Board (or neither, for a self-dialed link)")
 
 // TransportKind selects how the two sides of a co-simulation run talk.
 type TransportKind int
@@ -56,6 +63,24 @@ type RunConfig struct {
 	// endpoints, session resilience counters, and per-run router gauges.
 	// Scrape it (see internal/obs) while the run is alive.
 	Obs *obs.Registry
+	// Adaptive enables lookahead-negotiated quantum elongation (see
+	// hdlsim.DriverConfig.Adaptive): the board's acknowledgements and the
+	// device's grants carry lookahead promises, and traffic-free TSync
+	// boundaries inside both promises are skipped. Simulated-time results
+	// are bit-identical; only the rendezvous count changes. Incompatible
+	// with SyncPipelined (the pipelined acknowledgement is a quantum
+	// stale, so its promise cannot be trusted).
+	Adaptive bool
+	// MaxQuantum caps the elongated quantum in clock cycles when Adaptive
+	// is set; 0 means 64×TSync.
+	MaxQuantum uint64
+	// Batch enables wire-frame coalescing on both sides (see
+	// cosim.BatchTransport): a quantum's DATA/INT messages ride in one
+	// MTBatch frame per channel flush.
+	Batch bool
+	// Trace, when non-nil, logs every protocol message of both sides (see
+	// cosim.TraceTransport).
+	Trace io.Writer
 }
 
 // DefaultRunConfig assembles the experiment defaults.
@@ -86,6 +111,9 @@ type RunResult struct {
 	App       AppStats
 	Board     board.Stats
 	Link      cosim.Metrics
+	// Batch holds the HW side's wire-frame coalescing counters; all
+	// zeros when Batch was off.
+	Batch cosim.BatchStats
 
 	Generated     uint64
 	Accuracy      float64 // forwarded / generated
@@ -119,6 +147,23 @@ func (rc RunConfig) Validate() error {
 	if rc.Chaos != nil && rc.Resilience == nil {
 		return fmt.Errorf("router: invalid RunConfig: Chaos without Resilience — injected faults would corrupt the protocol mid-run; set Resilience (e.g. cosim.DefaultSessionConfig()) or drop Chaos")
 	}
+	if rc.Adaptive && rc.Mode == cosim.SyncPipelined {
+		return fmt.Errorf("router: invalid RunConfig: Adaptive with SyncPipelined — the pipelined acknowledgement describes a quantum that is already granted, so its lookahead promise is stale; use SyncAlternating or drop Adaptive")
+	}
+	// Bound the quantum arithmetic. The derived cycle budget is
+	// WorkCycles + 8×TSync + slack, and the board multiplies every
+	// granted tick by CyclesPerGrantTick; a TSync large enough to wrap
+	// either product would silently truncate the run instead of failing.
+	const budgetSlack = 20000
+	work := rc.TB.WorkCycles()
+	if rc.MaxCycles == 0 {
+		if work > math.MaxUint64-budgetSlack || rc.TSync > (math.MaxUint64-budgetSlack-work)/8 {
+			return fmt.Errorf("router: invalid RunConfig: TSync %d overflows the derived cycle budget (WorkCycles %d + 8×TSync + %d wraps uint64); lower TSync below %d or set MaxCycles explicitly", rc.TSync, work, budgetSlack, (math.MaxUint64-budgetSlack-work)/8)
+		}
+	}
+	if cpt := rc.BoardCfg.CyclesPerGrantTick; cpt > 1 && rc.budget() > math.MaxUint64/cpt {
+		return fmt.Errorf("router: invalid RunConfig: cycle budget %d × CyclesPerGrantTick %d overflows the board's cycle accounting; lower TSync/MaxCycles or CyclesPerGrantTick", rc.budget(), cpt)
+	}
 	switch rc.Transport {
 	case TransportInProc, TransportTCP:
 	default:
@@ -130,7 +175,7 @@ func (rc RunConfig) Validate() error {
 // stack derives the hw-side transport-stack layers from the config; the
 // board side uses its Peer().
 func (rc RunConfig) stack() cosim.StackConfig {
-	return cosim.StackConfig{Delay: rc.LinkDelay, Chaos: rc.Chaos, Session: rc.Resilience}
+	return cosim.StackConfig{Delay: rc.LinkDelay, Chaos: rc.Chaos, Session: rc.Resilience, Batch: rc.Batch}
 }
 
 // dialSelf establishes a private loopback TCP link between the two sides
@@ -170,35 +215,34 @@ func dialSelf() (hwT, boardT cosim.Transport, err error) {
 	return a.tr, boardT, nil
 }
 
-// RunCoSim executes the full paper testbench: the HDL side under
-// DriverSimulate on the calling goroutine, the virtual board on a second
-// goroutine, linked by the chosen transport. It returns when the workload
-// is injected and drained (or the cycle budget runs out).
+// RunCoSim executes the full paper testbench over a self-dialed link.
+//
+// Deprecated: use Run with a zero Transports value, e.g.
+// Run(ctx, Transports{}, WithConfig(rc)). RunCoSim remains as a thin
+// wrapper with identical behavior.
 func RunCoSim(rc RunConfig) (RunResult, error) {
-	if err := rc.Validate(); err != nil {
-		return RunResult{TSync: rc.TSync, TransportKind: rc.Transport, Mode: rc.Mode}, err
-	}
-	var hwT, boardT cosim.Transport
-	switch rc.Transport {
-	case TransportTCP:
-		var err error
-		hwT, boardT, err = dialSelf()
-		if err != nil {
-			return RunResult{TSync: rc.TSync, TransportKind: rc.Transport, Mode: rc.Mode}, err
-		}
-	default:
-		hwT, boardT = cosim.NewInProcPair(4096)
-	}
-	return RunOnTransports(rc, hwT, boardT)
+	return Run(context.Background(), Transports{}, WithConfig(rc))
 }
 
 // RunOnTransports executes the testbench over caller-established base
-// transports — the session-reusable entry point: RunCoSim feeds it a
-// private link, while a farm feeds it transports routed through a shared
-// mux listener. It takes ownership of both transports (they are closed
-// by the time it returns) and stacks the config's decorator layers
-// (LinkDelay, Chaos, Resilience) on each side with cosim.BuildStack.
-func RunOnTransports(rc RunConfig, hwBase, boardBase cosim.Transport) (result RunResult, err error) {
+// transports.
+//
+// Deprecated: use Run, e.g. Run(ctx, Transports{HW: hwBase, Board:
+// boardBase}, WithConfig(rc)). RunOnTransports remains as a thin wrapper
+// with identical behavior.
+func RunOnTransports(rc RunConfig, hwBase, boardBase cosim.Transport) (RunResult, error) {
+	return Run(context.Background(), Transports{HW: hwBase, Board: boardBase}, WithConfig(rc))
+}
+
+// runOnTransports is the core of every Run entry point: it executes the
+// testbench over the given base transports — the HDL side under
+// DriverSimulate on the calling goroutine, the virtual board on a second
+// goroutine. It takes ownership of both transports (they are closed by
+// the time it returns) and stacks the config's decorator layers
+// (LinkDelay, Chaos, Resilience, Batch) on each side with
+// cosim.BuildStack. Cancelling ctx tears the stacks down, unblocking
+// both sides; the context's cause becomes the returned error.
+func runOnTransports(ctx context.Context, rc RunConfig, hwBase, boardBase cosim.Transport) (result RunResult, err error) {
 	res := RunResult{TSync: rc.TSync, TransportKind: rc.Transport, Mode: rc.Mode}
 	if err := rc.Validate(); err != nil {
 		hwBase.Close()
@@ -236,6 +280,32 @@ func RunOnTransports(rc RunConfig, hwBase, boardBase cosim.Transport) (result Ru
 	boardT, boardClose := cosim.BuildStack(boardBase, stack.Peer())
 	defer hwClose()
 	defer boardClose()
+	if rc.Trace != nil {
+		hwT = cosim.NewTraceTransport(hwT, rc.Trace)
+		boardT = cosim.NewTraceTransport(boardT, rc.Trace)
+	}
+
+	// Context cancellation tears both stacks down, which unblocks any
+	// side waiting on the link with ErrClosed; the cause is reported as
+	// the run error below.
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			hwClose()
+			boardClose()
+		case <-watchDone:
+		}
+	}()
+	defer func() {
+		if err != nil && ctx.Err() != nil {
+			err = fmt.Errorf("router: run canceled: %w", context.Cause(ctx))
+		}
+	}()
 
 	hw := cosim.NewHWEndpoint(hwT, rc.Mode)
 	bep := cosim.NewBoardEndpoint(boardT)
@@ -253,6 +323,8 @@ func RunOnTransports(rc RunConfig, hwBase, boardBase cosim.Transport) (result Ru
 		TSync:       rc.TSync,
 		TotalCycles: rc.budget(),
 		StopEarly:   tb.Finished,
+		Adaptive:    rc.Adaptive,
+		MaxQuantum:  rc.MaxQuantum,
 	})
 	res.Wall = time.Since(start)
 	if err != nil {
@@ -270,6 +342,7 @@ func RunOnTransports(rc RunConfig, hwBase, boardBase cosim.Transport) (result Ru
 	res.App = bs.App.Stats()
 	res.Board = bs.Board.Stats()
 	res.Link = *hw.Metrics()
+	res.Batch = cosim.BatchStatsOf(hwT)
 	res.Generated = tb.Generated()
 	res.SimCycles = hwStats.Cycles
 	res.BoardCycles, res.BoardSWTicks = hw.BoardTime()

@@ -1,0 +1,134 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cosim"
+)
+
+// runOutcome is the virtual-time fingerprint compared across entry
+// points: if two runs agree on these, they are the same simulation.
+type runOutcome struct {
+	r      Stats
+	cycles uint64
+	ticks  uint64
+	sim    uint64
+}
+
+func fingerprint(res RunResult) runOutcome {
+	return runOutcome{r: res.Router, cycles: res.BoardCycles, ticks: res.BoardSWTicks, sim: res.SimCycles}
+}
+
+// TestDeprecatedWrappersEquivalence proves the compatibility contract of
+// the API redesign: RunCoSim and RunOnTransports are thin veneers over
+// Run, and all three produce bit-identical virtual-time results for the
+// same configuration.
+func TestDeprecatedWrappersEquivalence(t *testing.T) {
+	rc := DefaultRunConfig()
+	rc.TB.PacketsPerPort = 4
+	rc.TSync = 200
+
+	viaWrapper, err := RunCoSim(rc)
+	if err != nil {
+		t.Fatalf("RunCoSim: %v", err)
+	}
+
+	viaRun, err := Run(context.Background(), Transports{}, WithConfig(rc))
+	if err != nil {
+		t.Fatalf("Run(WithConfig): %v", err)
+	}
+
+	viaOptions, err := Run(context.Background(), Transports{},
+		WithTB(rc.TB), WithTSync(rc.TSync), WithSyncMode(rc.Mode),
+		WithTransport(rc.Transport), WithBoardConfig(rc.BoardCfg), WithAppConfig(rc.AppCfg))
+	if err != nil {
+		t.Fatalf("Run(options): %v", err)
+	}
+
+	hwT, boardT := cosim.NewInProcPair(4096)
+	viaTransports, err := RunOnTransports(rc, hwT, boardT)
+	if err != nil {
+		t.Fatalf("RunOnTransports: %v", err)
+	}
+
+	want := fingerprint(viaWrapper)
+	for name, got := range map[string]RunResult{
+		"Run(WithConfig)": viaRun,
+		"Run(options)":    viaOptions,
+		"RunOnTransports": viaTransports,
+	} {
+		if fingerprint(got) != want {
+			t.Errorf("%s diverged from RunCoSim:\nwant %+v\ngot  %+v", name, want, fingerprint(got))
+		}
+	}
+}
+
+// TestRunRejectsHalfTransports: a Transports value with exactly one side
+// set is a caller bug; Run must fail fast and still release the side it
+// was given.
+func TestRunRejectsHalfTransports(t *testing.T) {
+	hwT, boardT := cosim.NewInProcPair(4)
+	defer boardT.Close()
+	if _, err := Run(context.Background(), Transports{HW: hwT}); !errors.Is(err, errHalfTransports) {
+		t.Fatalf("want errHalfTransports, got %v", err)
+	}
+	if _, err := hwT.Recv(cosim.ChanInt); err != cosim.ErrClosed {
+		t.Fatalf("provided transport not closed after rejection: %v", err)
+	}
+}
+
+// TestRunContextCancellation: cancelling the context mid-run tears the
+// link down, unblocks both sides, and reports the context's cause.
+func TestRunContextCancellation(t *testing.T) {
+	rc := DefaultRunConfig()
+	rc.TB.PacketsPerPort = 10000 // far more work than the test allows to finish
+	rc.TSync = 50
+	rc.MaxCycles = 1 << 40
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, Transports{}, WithConfig(rc))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled run reported success")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("error does not carry the context cause: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled run never returned")
+	}
+}
+
+// TestRunOptionOrdering: options apply in order over DefaultRunConfig, so
+// a later specific option refines an earlier WithConfig.
+func TestRunOptionOrdering(t *testing.T) {
+	rc := DefaultRunConfig()
+	rc.TSync = 77
+
+	got := DefaultRunConfig()
+	for _, o := range []Option{WithConfig(rc), WithTSync(99), WithAdaptiveSync(4000), WithBatching()} {
+		o(&got)
+	}
+	if got.TSync != 99 {
+		t.Fatalf("later WithTSync did not win: %d", got.TSync)
+	}
+	if !got.Adaptive || got.MaxQuantum != 4000 {
+		t.Fatalf("WithAdaptiveSync not applied: adaptive=%v maxQ=%d", got.Adaptive, got.MaxQuantum)
+	}
+	if !got.Batch {
+		t.Fatal("WithBatching not applied")
+	}
+}

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -26,6 +27,21 @@ func TestRunConfigValidate(t *testing.T) {
 			rc.Resilience = nil
 		}, "Chaos without Resilience"},
 		{"unknown transport", func(rc *RunConfig) { rc.Transport = TransportKind(99) }, "TransportKind"},
+		{"adaptive with pipelined acks", func(rc *RunConfig) {
+			rc.Adaptive = true
+			rc.Mode = cosim.SyncPipelined
+		}, "Adaptive with SyncPipelined"},
+		// A TSync huge enough to wrap the derived budget (WorkCycles +
+		// 8×TSync + slack) used to be accepted and silently truncated the
+		// run; it must be an explicit, actionable error.
+		{"tsync overflows budget", func(rc *RunConfig) { rc.TSync = math.MaxUint64 / 4 }, "overflows the derived cycle budget"},
+		{"tsync overflows budget exactly", func(rc *RunConfig) {
+			work := rc.TB.WorkCycles()
+			rc.TSync = (math.MaxUint64-20000-work)/8 + 1
+		}, "overflows the derived cycle budget"},
+		{"grant tick product overflows", func(rc *RunConfig) {
+			rc.BoardCfg.CyclesPerGrantTick = math.MaxUint64 / 2
+		}, "CyclesPerGrantTick"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -43,6 +43,14 @@ func (q *alarmQueue) add(atTick uint64, fn func()) {
 
 func (q *alarmQueue) len() int { return len(q.h) }
 
+// peek returns the earliest pending alarm's absolute SW tick.
+func (q *alarmQueue) peek() (uint64, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].at, true
+}
+
 // expire runs every alarm due at or before tick. Alarm callbacks run in
 // timer-ISR context: they may ready threads but must not block.
 func (q *alarmQueue) expire(k *Kernel, tick uint64) {

@@ -125,6 +125,10 @@ type Kernel struct {
 
 	tickHooks []func(hwTick uint64) // on-board devices observe HW ticks
 
+	// wakeSources bound when tick-driven devices can next post an IRQ;
+	// consulted by NextEventBound (see lookahead.go).
+	wakeSources []func() uint64
+
 	drivers map[string]Driver
 
 	// savedSliceValid/savedSlice implement the paper's context save of the
