@@ -42,8 +42,10 @@ farm-soak:
 bench-json:
 	$(GO) run ./cmd/cosim-bench -runs $(BENCH_RUNS) -v -out BENCH_cosim.json
 
-# bench-gate fails when any Fig.5 or Farm benchmark regressed >25% vs
-# the committed baseline (skips cleanly when no baseline is committed).
+# bench-gate fails when any Fig.5, Farm, or Adaptive benchmark regressed
+# >25% vs the committed baseline — in wall clock (ns_per_op) or in
+# steady-state allocation rate (allocs_per_quantum) — and skips cleanly
+# when no baseline is committed.
 bench-gate: bench-json
 	$(GO) run ./cmd/cosim-benchcmp -baseline BENCH_baseline.json -current BENCH_cosim.json
 

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/cosim"
@@ -145,18 +146,26 @@ func measureFarm(runs int) (Result, error) {
 	const sessions, workers = 8, 4
 	r := Result{Name: fmt.Sprintf("Farm/N=%d", sessions), Runs: runs}
 	var best experiments.FarmLoadResult
+	var bestAllocs uint64
 	for i := 0; i < runs; i++ {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		load, err := experiments.RunFarmLoad(experiments.Options{}, sessions, workers)
+		runtime.ReadMemStats(&after)
 		if err != nil {
 			return r, err
 		}
 		if i == 0 || load.Wall < best.Wall {
 			best = load
+			bestAllocs = after.Mallocs - before.Mallocs
 		}
 	}
 	r.NsPerOp = best.Wall.Nanoseconds()
 	r.SessionsPerSec = best.SessionsPerSec
 	r.Retransmits = best.Retransmits
+	if best.SyncEvents > 0 {
+		r.AllocsPerQuantum = float64(bestAllocs) / float64(best.SyncEvents)
+	}
 	return r, nil
 }
 
@@ -164,6 +173,7 @@ func main() {
 	out := flag.String("out", "BENCH_cosim.json", "output file (- for stdout)")
 	runs := flag.Int("runs", 3, "measured runs per benchmark (fastest kept)")
 	verbose := flag.Bool("v", false, "print per-benchmark progress on stderr")
+	filter := flag.String("filter", "", "only run benchmarks whose name contains this substring")
 	flag.Parse()
 	if *runs < 1 {
 		*runs = 1
@@ -171,6 +181,9 @@ func main() {
 
 	file := File{Schema: 1, GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
 	for _, b := range benches() {
+		if *filter != "" && !strings.Contains(b.name, *filter) {
+			continue
+		}
 		var best router.RunResult
 		var bestWall time.Duration
 		var bestAllocs uint64
@@ -221,16 +234,18 @@ func main() {
 
 	// Farm point: 8 concurrent TCP sessions (chaos+resilience on half) on
 	// 4 workers; sessions/sec is the tracked throughput.
-	fr, err := measureFarm(*runs)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cosim-bench: %s: %v\n", fr.Name, err)
-		os.Exit(1)
+	if *filter == "" || strings.Contains("Farm/N=8", *filter) {
+		fr, err := measureFarm(*runs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cosim-bench: %s: %v\n", fr.Name, err)
+			os.Exit(1)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "cosim-bench: %-24s %12d ns/op  %8.1f sessions/s\n",
+				fr.Name, fr.NsPerOp, fr.SessionsPerSec)
+		}
+		file.Benchmarks = append(file.Benchmarks, fr)
 	}
-	if *verbose {
-		fmt.Fprintf(os.Stderr, "cosim-bench: %-24s %12d ns/op  %8.1f sessions/s\n",
-			fr.Name, fr.NsPerOp, fr.SessionsPerSec)
-	}
-	file.Benchmarks = append(file.Benchmarks, fr)
 
 	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {

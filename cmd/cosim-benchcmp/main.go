@@ -1,14 +1,18 @@
 // Command cosim-benchcmp is the CI perf-regression gate: it compares a
 // freshly generated BENCH_cosim.json against a committed baseline and
-// fails when any gated benchmark slowed down by more than the allowed
-// factor.
+// fails when any gated benchmark slowed down — in wall clock (ns_per_op)
+// or in steady-state allocation rate (allocs_per_quantum) — by more than
+// the allowed factor.
 //
 //	cosim-benchcmp -baseline BENCH_baseline.json -current BENCH_cosim.json
 //
 // A missing baseline file is not an error — the gate prints a notice
 // and exits 0, so the pipeline works on branches that predate the
 // baseline (and the baseline can simply be deleted to re-bootstrap it
-// after a deliberate perf change or a runner-hardware change).
+// after a deliberate perf change or a runner-hardware change). The same
+// rule applies per metric: a baseline entry without allocs_per_quantum
+// (recorded before the allocation gate existed) skips that comparison
+// only.
 package main
 
 import (
@@ -19,30 +23,34 @@ import (
 	"strings"
 )
 
+// benchEntry is one benchmark's gated metrics.
+type benchEntry struct {
+	Name             string  `json:"name"`
+	NsPerOp          int64   `json:"ns_per_op"`
+	AllocsPerQuantum float64 `json:"allocs_per_quantum"`
+}
+
 // benchFile mirrors the cosim-bench output schema (only the fields the
 // gate reads).
 type benchFile struct {
-	Schema     int `json:"schema"`
-	Benchmarks []struct {
-		Name    string `json:"name"`
-		NsPerOp int64  `json:"ns_per_op"`
-	} `json:"benchmarks"`
+	Schema     int          `json:"schema"`
+	Benchmarks []benchEntry `json:"benchmarks"`
 }
 
-func load(path string) (map[string]int64, error) {
+func load(path string) (map[string]benchEntry, *benchFile, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var f benchFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
-	out := make(map[string]int64, len(f.Benchmarks))
+	out := make(map[string]benchEntry, len(f.Benchmarks))
 	for _, b := range f.Benchmarks {
-		out[b.Name] = b.NsPerOp
+		out[b.Name] = b
 	}
-	return out, nil
+	return out, &f, nil
 }
 
 func main() {
@@ -50,6 +58,7 @@ func main() {
 	current := flag.String("current", "BENCH_cosim.json", "freshly generated file")
 	prefix := flag.String("prefix", "Fig5/,Farm/,Adaptive/", "only gate benchmarks whose name has one of these comma-separated prefixes (empty = all)")
 	threshold := flag.Float64("threshold", 1.25, "fail when current/baseline ns/op exceeds this ratio")
+	allocsThreshold := flag.Float64("allocs-threshold", 1.25, "fail when current/baseline allocs_per_quantum exceeds this ratio")
 	flag.Parse()
 
 	var prefixes []string
@@ -70,7 +79,7 @@ func main() {
 		return false
 	}
 
-	base, err := load(*baseline)
+	base, _, err := load(*baseline)
 	if err != nil {
 		if os.IsNotExist(err) {
 			fmt.Printf("cosim-benchcmp: no baseline at %s; skipping regression gate\n", *baseline)
@@ -79,44 +88,52 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cosim-benchcmp: %v\n", err)
 		os.Exit(1)
 	}
-	regressions := 0
-	compared := 0
 	// Iterate in the current file's order so the report is stable.
-	data, err := os.ReadFile(*current)
+	_, ordered, err := load(*current)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cosim-benchcmp: %v\n", err)
 		os.Exit(1)
 	}
-	var ordered benchFile
-	if err := json.Unmarshal(data, &ordered); err != nil {
-		fmt.Fprintf(os.Stderr, "cosim-benchcmp: %s: %v\n", *current, err)
-		os.Exit(1)
-	}
+	regressions := 0
+	compared := 0
 	for _, b := range ordered.Benchmarks {
 		if !matches(b.Name) {
 			continue
 		}
-		baseNs, ok := base[b.Name]
-		if !ok || baseNs <= 0 {
+		bl, ok := base[b.Name]
+		if !ok || bl.NsPerOp <= 0 {
 			fmt.Printf("  %-28s %12d ns/op  (no baseline entry; skipped)\n", b.Name, b.NsPerOp)
 			continue
 		}
 		compared++
-		ratio := float64(b.NsPerOp) / float64(baseNs)
+		ratio := float64(b.NsPerOp) / float64(bl.NsPerOp)
 		verdict := "ok"
 		if ratio > *threshold {
 			verdict = "REGRESSION"
 			regressions++
 		}
-		fmt.Printf("  %-28s %12d -> %12d ns/op  (%.2fx)  %s\n", b.Name, baseNs, b.NsPerOp, ratio, verdict)
+		fmt.Printf("  %-28s %12d -> %12d ns/op  (%.2fx)  %s\n", b.Name, bl.NsPerOp, b.NsPerOp, ratio, verdict)
+		// Allocation gate: only when both files carry the metric (older
+		// baselines predate it; a run without quanta reports zero).
+		if bl.AllocsPerQuantum > 0 && b.AllocsPerQuantum > 0 {
+			aRatio := b.AllocsPerQuantum / bl.AllocsPerQuantum
+			aVerdict := "ok"
+			if aRatio > *allocsThreshold {
+				aVerdict = "REGRESSION"
+				regressions++
+			}
+			fmt.Printf("  %-28s %12.1f -> %12.1f allocs/quantum  (%.2fx)  %s\n",
+				"", bl.AllocsPerQuantum, b.AllocsPerQuantum, aRatio, aVerdict)
+		}
 	}
 	if compared == 0 {
 		fmt.Printf("cosim-benchcmp: no %q benchmarks shared with the baseline; nothing gated\n", *prefix)
 		return
 	}
 	if regressions > 0 {
-		fmt.Fprintf(os.Stderr, "cosim-benchcmp: %d benchmark(s) regressed beyond %.2fx\n", regressions, *threshold)
+		fmt.Fprintf(os.Stderr, "cosim-benchcmp: %d metric(s) regressed beyond the allowed factor\n", regressions)
 		os.Exit(1)
 	}
-	fmt.Printf("cosim-benchcmp: %d benchmark(s) within %.2fx of baseline\n", compared, *threshold)
+	fmt.Printf("cosim-benchcmp: %d benchmark(s) within %.2fx ns/op and %.2fx allocs/quantum of baseline\n",
+		compared, *threshold, *allocsThreshold)
 }

@@ -133,12 +133,16 @@ func (d *RemoteDev) PeekShadow(off uint32) uint32 {
 
 // PeekShadowBlock copies count shadow words starting at off (DSR context).
 func (d *RemoteDev) PeekShadowBlock(off, count uint32) []uint32 {
+	return d.AppendShadowBlock(make([]uint32, 0, count), off, count)
+}
+
+// AppendShadowBlock appends count shadow words starting at off to dst; the
+// allocation-free form for DSRs that reuse a scratch buffer.
+func (d *RemoteDev) AppendShadowBlock(dst []uint32, off, count uint32) []uint32 {
 	if off+count > d.size {
 		panic(fmt.Sprintf("board: %s: PeekShadowBlock outside window", d.name))
 	}
-	out := make([]uint32, count)
-	copy(out, d.shadow[off:off+count])
-	return out
+	return append(dst, d.shadow[off:off+count]...)
 }
 
 func (d *RemoteDev) applyWrite(w cosim.RegBlock) error {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package cosim
+
+// Without the race detector the pools retain everything: budgets are
+// enforced as written.
+const raceAllocSlack = 1.0

@@ -1,0 +1,200 @@
+package cosim
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// This file pins the steady-state allocation budgets of the wire hot path.
+// Every budget is an average over testing.AllocsPerRun with pools warmed
+// first: the gates catch a regression back to per-message allocation (a
+// dropped Release, a pooled path reverted to make/append) while leaving
+// headroom for runtime noise. Budgets are per *run* of the closure, not
+// per message; each test states its per-message arithmetic.
+
+// warmPools primes the codec pools so the measured region reuses buffers
+// instead of paying the pool's first-fill allocations.
+func warmPools(f func(), n int) {
+	for i := 0; i < n; i++ {
+		f()
+	}
+}
+
+// releaseSink is a Transport bottom that consumes messages the way the
+// TCP writer does: payloads are released, nothing is retained.
+type releaseSink struct{ sent int }
+
+func (s *releaseSink) Send(ch Channel, m Msg) error {
+	s.sent++
+	m.Release()
+	return nil
+}
+func (s *releaseSink) Recv(ch Channel) (Msg, error)          { return Msg{}, ErrClosed }
+func (s *releaseSink) TryRecv(ch Channel) (Msg, bool, error) { return Msg{}, false, nil }
+func (s *releaseSink) Close() error                          { return nil }
+
+// TestAllocsMsgRoundTrip gates the codec itself: one Encode→Decode→Release
+// of a payload-carrying DATA write must reuse pooled buffers end to end.
+func TestAllocsMsgRoundTrip(t *testing.T) {
+	m := Msg{Type: MTDataWrite, Addr: 0x40, Words: []uint32{1, 2, 3, 4, 5, 6, 7, 8}}
+	var buf bytes.Buffer
+	var rd bytes.Reader
+	roundTrip := func() {
+		buf.Reset()
+		if err := m.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		rd.Reset(buf.Bytes())
+		got, err := Decode(&rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Release()
+	}
+	warmPools(roundTrip, 16)
+	budget := 1.0 * raceAllocSlack // steady state is 0; 1 tolerates runtime noise
+	if avg := testing.AllocsPerRun(200, roundTrip); avg > budget {
+		t.Errorf("Msg Encode/Decode/Release: %.2f allocs/op, budget %.1f", avg, budget)
+	}
+}
+
+// TestAllocsBatchFlush gates the coalescing layer: buffering a quantum's
+// DATA messages and flushing them as one MTBatch into a releasing bottom
+// must reuse the pooled flush body and the pending-slice backing.
+func TestAllocsBatchFlush(t *testing.T) {
+	sink := &releaseSink{}
+	tx := NewBatchTransport(sink)
+	words := []uint32{0xaa, 0xbb, 0xcc}
+	flush := func() {
+		for i := 0; i < 4; i++ {
+			if err := tx.Send(ChanData, Msg{Type: MTDataWrite, Addr: uint32(i), Words: words}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tx.Send(ChanClock, Msg{Type: MTClockGrant, Ticks: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warmPools(flush, 16)
+	// 5 sends per run (4 buffered + 1 batch + 1 clock on the wire).
+	budget := 2.0 * raceAllocSlack
+	if avg := testing.AllocsPerRun(200, flush); avg > budget {
+		t.Errorf("batch flush: %.2f allocs/run, budget %.1f", avg, budget)
+	}
+}
+
+// TestAllocsSessionSendRecv gates the resilience layer's steady state over
+// an in-process link: envelope bodies come from the session's ack-recycled
+// freelist, decoded payloads from the codec pools. The budget is per run
+// of one send + one recv + one release, with the returning ack amortized
+// across the run (ack handling is asynchronous, so individual runs jitter;
+// the average must stay flat).
+func TestAllocsSessionSendRecv(t *testing.T) {
+	sa, sb := sessionPair(DefaultSessionConfig(), nil)
+	defer sa.Close()
+	defer sb.Close()
+
+	// A run is one quantum-shaped burst: 8 sends then 8 receives, as the
+	// endpoints drive the link. Acks for the burst recycle envelope bodies
+	// while the user goroutine blocks in Recv, so the next burst's sends
+	// reuse them — strict one-message ping-pong would instead always race
+	// the ack home and miss the freelist.
+	const burst = 8
+	words := []uint32{1, 2, 3, 4}
+	step := func() {
+		// Stand-in for the endpoint's per-quantum simulation work: gives
+		// the asynchronous ack pipeline time to recycle envelope bodies,
+		// as it has during a real run.
+		time.Sleep(200 * time.Microsecond)
+		for i := 0; i < burst; i++ {
+			if err := sa.Send(ChanData, Msg{Type: MTDataWrite, Addr: uint32(i), Words: words}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < burst; i++ {
+			m, err := sb.Recv(ChanData)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Release()
+		}
+	}
+	warmPools(step, 32)
+	// Steady state measures ≲1 alloc per message (scheduling jitter in the
+	// ack pipeline); the pre-pooling path cost ~6 per message.
+	budget := 2.0 * burst * raceAllocSlack
+	if avg := testing.AllocsPerRun(200, step); avg > budget {
+		t.Errorf("session burst(%d) send/recv/release: %.2f allocs/run, budget %.1f", burst, avg, budget)
+	}
+}
+
+// TestPoolHammerConcurrentSessions drives eight independent session links
+// concurrently through the shared codec pools, with chaos injuring half of
+// them. Run under -race this is the pooling layer's data-race detector:
+// a double Release or a buffer handed to two owners shows up either as a
+// race report or as a corrupted payload here.
+func TestPoolHammerConcurrentSessions(t *testing.T) {
+	const (
+		sessions = 8
+		msgs     = 200
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for s := 0; s < sessions; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var chaos *Scenario
+			if s%2 == 1 {
+				sc := UniformScenario(int64(1000+s), FaultProfile{
+					Drop: 0.05, Duplicate: 0.05, Reorder: 0.05, Corrupt: 0.05,
+				})
+				chaos = &sc
+			}
+			cfg := DefaultSessionConfig()
+			cfg.RetransmitTimeout = 5 * time.Millisecond
+			sa, sb := sessionPair(cfg, chaos)
+			defer sa.Close()
+			defer sb.Close()
+
+			done := make(chan error, 1)
+			go func() {
+				for i := 0; i < msgs; i++ {
+					m, err := RecvTimeout(sb, ChanData, 20*time.Second)
+					if err != nil {
+						done <- fmt.Errorf("session %d recv %d: %w", s, i, err)
+						return
+					}
+					if m.Addr != uint32(i) || len(m.Words) != 4 || m.Words[0] != uint32(s)<<16|uint32(i) {
+						done <- fmt.Errorf("session %d msg %d corrupted: %+v", s, i, m)
+						return
+					}
+					m.Release()
+				}
+				done <- nil
+			}()
+			for i := 0; i < msgs; i++ {
+				w, ref := getPooledWords(4)
+				w[0], w[1], w[2], w[3] = uint32(s)<<16|uint32(i), uint32(i), ^uint32(i), 0x5a5a5a5a
+				m := Msg{Type: MTDataWrite, Addr: uint32(i), Words: w}
+				m.wordsRef = ref
+				if err := sa.Send(ChanData, m); err != nil {
+					errs <- fmt.Errorf("session %d send %d: %w", s, i, err)
+					return
+				}
+			}
+			if err := <-done; err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -51,6 +51,8 @@ type BatchTransport struct {
 	pend      [numChannels][]Msg // buffered sends, flushed on CLOCK traffic
 	pendBytes [numChannels]int
 	inbox     [numChannels][]Msg // spliced-open batches awaiting Recv
+	inboxHead [numChannels]int   // consumed prefix; backing reused when drained
+	scratch   []Msg              // splitBatch scratch, reused per accept
 
 	flushes  atomic.Uint64
 	batched  atomic.Uint64
@@ -119,24 +121,33 @@ func (t *BatchTransport) flushChan(ch Channel) error {
 	t.pendBytes[ch] = 0
 	if len(pend) == 1 {
 		t.bypassed.Add(1)
-		return t.inner.Send(ch, pend[0])
+		m := pend[0]
+		pend[0] = Msg{} // drop the buffered copy's payload references
+		return t.inner.Send(ch, m)
 	}
-	raw := make([]byte, 0, 64*len(pend))
+	// The flush body comes from the codec's raw pool; the batch message is
+	// marked pooled, so whichever layer consumes it — the session copying
+	// it into an envelope, the TCP writer encoding it, or the in-process
+	// peer splicing it open — releases the buffer.
+	raw, rawRef := getPooledRawCap(64 * len(pend))
 	for i := range pend {
 		lenAt := len(raw)
 		raw = append(raw, 0, 0, 0, 0)
 		raw = pend[i].appendBody(raw)
 		binary.LittleEndian.PutUint32(raw[lenAt:], uint32(len(raw)-lenAt-4))
+		pend[i] = Msg{} // bodies copied; drop payload references
 	}
 	t.flushes.Add(1)
 	t.batched.Add(uint64(len(pend)))
-	return t.inner.Send(ch, Msg{Type: MTBatch, Count: uint32(len(pend)), Raw: raw})
+	return t.inner.Send(ch, Msg{Type: MTBatch, Count: uint32(len(pend)), Raw: raw, rawRef: rawRef})
 }
 
-// splitBatch validates and opens one MTBatch into its inner messages.
-func splitBatch(m Msg) ([]Msg, error) {
-	out := make([]Msg, 0, m.Count)
+// splitBatch validates and opens one MTBatch into its inner messages,
+// appending them to out (callers may pass a reused scratch slice; each
+// inner message owns its payloads, so the batch body is not aliased).
+func splitBatch(m Msg, out []Msg) ([]Msg, error) {
 	p := m.Raw
+	start := len(out)
 	for len(p) > 0 {
 		if len(p) < 4 {
 			return nil, fmt.Errorf("cosim: truncated batch entry header")
@@ -155,8 +166,8 @@ func splitBatch(m Msg) ([]Msg, error) {
 		out = append(out, inner)
 		p = p[4+n:]
 	}
-	if uint32(len(out)) != m.Count {
-		return nil, fmt.Errorf("cosim: batch count %d but %d entries", m.Count, len(out))
+	if uint32(len(out)-start) != m.Count {
+		return nil, fmt.Errorf("cosim: batch count %d but %d entries", m.Count, len(out)-start)
 	}
 	return out, nil
 }
@@ -166,7 +177,11 @@ func (t *BatchTransport) accept(ch Channel, m Msg) (Msg, error) {
 	if m.Type != MTBatch {
 		return m, nil
 	}
-	inner, err := splitBatch(m)
+	inner, err := splitBatch(m, t.scratch[:0])
+	t.scratch = inner[:0]
+	// Every inner message copied its payload out, so the batch body — the
+	// layer's wrapper — is released here, its terminal consumption point.
+	m.Release()
 	if err != nil {
 		return Msg{}, err
 	}
@@ -175,18 +190,30 @@ func (t *BatchTransport) accept(ch Channel, m Msg) (Msg, error) {
 	return t.popInbox(ch)
 }
 
+// inboxLen is the number of spliced-open messages awaiting Recv on ch.
+func (t *BatchTransport) inboxLen(ch Channel) int {
+	return len(t.inbox[ch]) - t.inboxHead[ch]
+}
+
 func (t *BatchTransport) popInbox(ch Channel) (Msg, error) {
-	if len(t.inbox[ch]) == 0 {
+	if t.inboxLen(ch) == 0 {
 		return Msg{}, fmt.Errorf("cosim: empty batch on %v", ch)
 	}
-	m := t.inbox[ch][0]
-	t.inbox[ch] = t.inbox[ch][1:]
+	m := t.inbox[ch][t.inboxHead[ch]]
+	t.inbox[ch][t.inboxHead[ch]] = Msg{}
+	t.inboxHead[ch]++
+	if t.inboxHead[ch] == len(t.inbox[ch]) {
+		// Drained: rewind so the backing array is reused instead of the
+		// slice creeping forward one header per pop.
+		t.inbox[ch] = t.inbox[ch][:0]
+		t.inboxHead[ch] = 0
+	}
 	return m, nil
 }
 
 // Recv implements Transport.
 func (t *BatchTransport) Recv(ch Channel) (Msg, error) {
-	if len(t.inbox[ch]) > 0 {
+	if t.inboxLen(ch) > 0 {
 		return t.popInbox(ch)
 	}
 	m, err := t.inner.Recv(ch)
@@ -198,7 +225,7 @@ func (t *BatchTransport) Recv(ch Channel) (Msg, error) {
 
 // TryRecv implements Transport.
 func (t *BatchTransport) TryRecv(ch Channel) (Msg, bool, error) {
-	if len(t.inbox[ch]) > 0 {
+	if t.inboxLen(ch) > 0 {
 		m, err := t.popInbox(ch)
 		return m, err == nil, err
 	}
@@ -212,7 +239,7 @@ func (t *BatchTransport) TryRecv(ch Channel) (Msg, bool, error) {
 
 // recvTimeout implements the bounded-wait capability.
 func (t *BatchTransport) recvTimeout(ch Channel, d time.Duration) (Msg, error) {
-	if len(t.inbox[ch]) > 0 {
+	if t.inboxLen(ch) > 0 {
 		return t.popInbox(ch)
 	}
 	m, err := RecvTimeout(t.inner, ch, d)

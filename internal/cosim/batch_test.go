@@ -196,12 +196,12 @@ func TestBatchRejectsMalformed(t *testing.T) {
 		{"zero-length entry", Msg{Type: MTBatch, Count: 1, Raw: []byte{0, 0, 0, 0}}},
 	}
 	for _, tc := range cases {
-		if _, err := splitBatch(tc.m); err == nil {
+		if _, err := splitBatch(tc.m, nil); err == nil {
 			t.Errorf("%s: accepted", tc.name)
 		}
 	}
 
-	if got, err := splitBatch(Msg{Type: MTBatch, Count: 2, Raw: pack(inner, inner)}); err != nil || len(got) != 2 {
+	if got, err := splitBatch(Msg{Type: MTBatch, Count: 2, Raw: pack(inner, inner)}, nil); err != nil || len(got) != 2 {
 		t.Fatalf("well-formed batch rejected: %v", err)
 	}
 }
@@ -216,7 +216,7 @@ func FuzzBatchRoundTrip(f *testing.F) {
 	f.Add([]byte{9}, []byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
 	f.Fuzz(func(t *testing.T, plan, raw []byte) {
 		// Arm 1: splitBatch over arbitrary bytes never panics.
-		if msgs, err := splitBatch(Msg{Type: MTBatch, Count: uint32(len(raw) / 8), Raw: raw}); err == nil {
+		if msgs, err := splitBatch(Msg{Type: MTBatch, Count: uint32(len(raw) / 8), Raw: raw}, nil); err == nil {
 			for _, m := range msgs {
 				if m.Type == MTBatch {
 					t.Fatal("splitBatch yielded a nested batch")
@@ -255,7 +255,14 @@ func FuzzBatchRoundTrip(f *testing.F) {
 			t.Fatal(err)
 		}
 
+		// Pooled-reuse aliasing detector: the first received message is held
+		// live (not Released) while every later message is received and
+		// Released — recycling their buffers through the codec pools. If a
+		// recycled buffer aliases the held message's payload, the final check
+		// catches the corruption.
 		rx := NewBatchTransport(wire)
+		var held Msg
+		var heldWords []uint32
 		for i, want := range sent {
 			ch := ChanData
 			if want.Type == MTInterrupt {
@@ -274,6 +281,18 @@ func FuzzBatchRoundTrip(f *testing.F) {
 					t.Fatalf("message %d word %d: sent %x got %x", i, j, want.Words[j], got.Words[j])
 				}
 			}
+			if i == 0 {
+				held = got
+				heldWords = append([]uint32(nil), got.Words...)
+			} else {
+				got.Release()
+			}
+		}
+		if len(sent) > 0 {
+			if !wordsEqual(held.Words, heldWords) {
+				t.Fatalf("held message corrupted by pooled reuse: want %x got %x", heldWords, held.Words)
+			}
+			held.Release()
 		}
 	})
 }

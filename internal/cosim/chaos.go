@@ -163,14 +163,21 @@ func (c *ChaosTransport) Send(ch Channel, m Msg) error {
 	if !lost {
 		if reorder && l.held == nil {
 			c.reordered.Add(1)
-			held := out
+			// Stash an independent copy: the original's payload buffers may
+			// be recycled (pooled release downstream, or a session body
+			// reused after a nack-healed ack) before the held frame is
+			// finally sent.
+			held := clonePayloads(out)
 			l.held = &held
+			out.Release()
 			stashed = true
 		} else {
 			queue = append(queue, out)
 			if dup {
 				c.duplicated.Add(1)
-				queue = append(queue, out)
+				// The duplicate gets its own payload copy so the two sends
+				// can never double-release or alias one pooled buffer.
+				queue = append(queue, clonePayloads(out))
 			}
 		}
 	}

@@ -114,5 +114,45 @@ func FuzzMsgRoundTrip(f *testing.F) {
 		if !bytes.Equal(first.Bytes(), second.Bytes()) {
 			t.Fatalf("%v round trip not lossless:\nsent %x\ngot  %x", m.Type, first.Bytes(), second.Bytes())
 		}
+
+		// Pooled-reuse aliasing detector. A decoded message owns its payload
+		// until Release: decoding more frames while `got` is live must not
+		// scribble on its slices, and a decode after Release — which hands
+		// the recycled buffer right back — must still be lossless.
+		snapWords := append([]uint32(nil), got.Words...)
+		snapRaw := append([]byte(nil), got.Raw...)
+		held, err := Decode(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !wordsEqual(got.Words, snapWords) || !bytes.Equal(got.Raw, snapRaw) {
+			t.Fatalf("%v: second decode aliased a live message's payload", m.Type)
+		}
+		held.Release()
+		got.Release()
+		again, err := Decode(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("decode into recycled buffer: %v", err)
+		}
+		var third bytes.Buffer
+		if err := again.Encode(&third); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), third.Bytes()) {
+			t.Fatalf("%v: decode into recycled buffer not lossless:\nsent %x\ngot  %x", m.Type, first.Bytes(), third.Bytes())
+		}
+		again.Release()
 	})
+}
+
+func wordsEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -1,7 +1,6 @@
 package cosim
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -75,25 +74,43 @@ type linkStatser interface{ LinkStats() LinkStats }
 // chaosStatser is implemented by ChaosTransport.
 type chaosStatser interface{ ChaosStats() ChaosStats }
 
+// seqCRC is crc32.Update(0, IEEE, seq-as-8-LE-bytes) computed without
+// materializing the header slice: the byte array would escape to the heap
+// on every frame, and this runs once per message on the hot path. The
+// unfolded loop is the table-driven IEEE algorithm crc32.Update uses, so
+// the value is bit-identical.
+func seqCRC(seq uint64) uint32 {
+	c := ^uint32(0)
+	for i := 0; i < 64; i += 8 {
+		c = crc32.IEEETable[byte(c)^byte(seq>>i)] ^ (c >> 8)
+	}
+	return ^c
+}
+
 // sessionCRC covers the sequence number and the raw body, so corruption
 // of either is detected at the session layer.
 func sessionCRC(seq uint64, body []byte) uint32 {
-	var hdr [8]byte
-	binary.LittleEndian.PutUint64(hdr[:], seq)
-	c := crc32.Update(0, crc32.IEEETable, hdr[:])
-	return crc32.Update(c, crc32.IEEETable, body)
+	return crc32.Update(seqCRC(seq), crc32.IEEETable, body)
+}
+
+// controlCRC is sessionCRC over the single-byte body {typ}, slice-free
+// for the same escape reason as seqCRC.
+func controlCRC(seq uint64, typ MsgType) uint32 {
+	c := ^seqCRC(seq)
+	c = crc32.IEEETable[byte(c)^byte(typ)] ^ (c >> 8)
+	return ^c
 }
 
 // controlMsg builds an ack/nack/heartbeat frame. Control frames carry a
 // CRC binding the sequence number to the frame type, so a bit-flipped
 // ack cannot prune undelivered frames (or masquerade as a nack).
 func controlMsg(typ MsgType, seq uint64) Msg {
-	return Msg{Type: typ, Seq: seq, Crc: sessionCRC(seq, []byte{byte(typ)})}
+	return Msg{Type: typ, Seq: seq, Crc: controlCRC(seq, typ)}
 }
 
 // validControl reports whether a received control frame is intact.
 func validControl(m Msg) bool {
-	return m.Crc == sessionCRC(m.Seq, []byte{byte(m.Type)})
+	return m.Crc == controlCRC(m.Seq, m.Type)
 }
 
 type pendingEnv struct {
@@ -104,6 +121,14 @@ type pendingEnv struct {
 type sessionSendState struct {
 	nextSeq uint64
 	unacked []pendingEnv
+	// bodyFree recycles envelope body buffers (mu-guarded, like unacked).
+	// A body is taken at Send, lives in unacked while retransmittable, and
+	// returns here when the cumulative ack prunes its envelope. The first
+	// transmission may alias the buffer (outbox, in-process peer), but the
+	// ack that triggers recycling can only arrive after the peer has
+	// finished reading it, so reuse cannot race those readers; retransmit
+	// paths snapshot their own copies (see queueRetransmit callers).
+	bodyFree [][]byte
 }
 
 type sessionRecvState struct {
@@ -258,13 +283,28 @@ func (s *SessionTransport) Send(ch Channel, m Msg) error {
 		return s.sessionErr()
 	default:
 	}
-	body := m.appendBody(nil)
 	s.mu.Lock()
 	st := &s.send[ch]
+	var body []byte
+	if n := len(st.bodyFree); n > 0 {
+		body = st.bodyFree[n-1][:0]
+		st.bodyFree[n-1] = nil
+		st.bodyFree = st.bodyFree[:n-1]
+	} else {
+		// Miss (cold start, or a sender outrunning the ack pipeline):
+		// pre-size for a typical envelope so appendBody pays one
+		// allocation instead of a growth cascade.
+		body = make([]byte, 0, 64)
+	}
+	body = m.appendBody(body)
 	st.nextSeq++
 	env := Msg{Type: MTSessionData, Seq: st.nextSeq, Crc: sessionCRC(st.nextSeq, body), Raw: body}
 	st.unacked = append(st.unacked, pendingEnv{env: env, sentAt: time.Now()})
 	s.mu.Unlock()
+	// The payload is copied into the envelope body, so a pooled message
+	// (e.g. a batch flush) can be released here — the session is its
+	// terminal consumer.
+	m.Release()
 	select {
 	case s.outbox[ch] <- env:
 	case <-s.done:
@@ -362,6 +402,7 @@ func (s *SessionTransport) readLoop(gen int, tr Transport, ch Channel) {
 			// Anything else is a corrupted frame that happened to decode
 			// as a plain message: both peers of a session speak envelopes
 			// only, so deliver nothing the CRC has not vouched for.
+			m.Release()
 			s.aliensDropped.Add(1)
 		}
 	}
@@ -390,6 +431,7 @@ func (s *SessionTransport) maybeNack(ch Channel) {
 // has failed terminally.
 func (s *SessionTransport) handleData(ch Channel, env Msg) bool {
 	if len(env.Raw) == 0 || sessionCRC(env.Seq, env.Raw) != env.Crc {
+		env.Release()
 		s.crcDropped.Add(1)
 		s.maybeNack(ch)
 		return true
@@ -406,6 +448,10 @@ func (s *SessionTransport) handleData(ch Channel, env Msg) bool {
 		}
 		s.mu.Unlock()
 		inner, err := decodeBody(env.Raw)
+		// decodeBody copied what it needed out of the envelope, so the
+		// session — the envelope's terminal consumer — releases it here.
+		// Over TCP this recycles one pooled frame body per message.
+		env.Release()
 		if err != nil {
 			s.fail(fmt.Errorf("cosim: undecodable session payload on %v: %w", ch, err))
 			return false
@@ -417,11 +463,13 @@ func (s *SessionTransport) handleData(ch Channel, env Msg) bool {
 	case env.Seq <= rs.lastDelivered:
 		last := rs.lastDelivered
 		s.mu.Unlock()
+		env.Release()
 		s.dupsDropped.Add(1)
 		// Refresh the peer's ack state so it can prune its buffer.
 		s.sendControl(ch, controlMsg(MTSessionAck, last))
 	default:
 		s.mu.Unlock()
+		env.Release()
 		s.gapsSeen.Add(1)
 		s.maybeNack(ch)
 	}
@@ -433,10 +481,17 @@ func (s *SessionTransport) handleAck(ch Channel, upTo uint64) {
 	st := &s.send[ch]
 	i := 0
 	for i < len(st.unacked) && st.unacked[i].env.Seq <= upTo {
+		// Acked: the peer has read the body, so the buffer can be reused
+		// by a future Send.
+		st.bodyFree = append(st.bodyFree, st.unacked[i].env.Raw)
 		i++
 	}
 	if i > 0 {
-		st.unacked = append(st.unacked[:0], st.unacked[i:]...)
+		tail := copy(st.unacked, st.unacked[i:])
+		for j := tail; j < len(st.unacked); j++ {
+			st.unacked[j] = pendingEnv{}
+		}
+		st.unacked = st.unacked[:tail]
 	}
 	s.mu.Unlock()
 }
@@ -449,7 +504,13 @@ func (s *SessionTransport) handleNack(ch Channel, from uint64) {
 	for i := range st.unacked {
 		if st.unacked[i].env.Seq >= from {
 			st.unacked[i].sentAt = now
-			resend = append(resend, st.unacked[i].env)
+			env := st.unacked[i].env
+			// Snapshot the body while it is still live: a racing ack may
+			// recycle the original buffer before the outbox drains this
+			// copy. Retransmits are the fault path, so the copy is cheap
+			// relative to what it heals.
+			env.Raw = append([]byte(nil), env.Raw...)
+			resend = append(resend, env)
 		}
 	}
 	s.mu.Unlock()
@@ -490,7 +551,9 @@ func (s *SessionTransport) rtoLoop() {
 			if len(st.unacked) > 0 && now.Sub(st.unacked[0].sentAt) >= s.cfg.RetransmitTimeout {
 				for i := range st.unacked {
 					st.unacked[i].sentAt = now
-					resend = append(resend, st.unacked[i].env)
+					env := st.unacked[i].env
+					env.Raw = append([]byte(nil), env.Raw...) // see handleNack
+					resend = append(resend, env)
 				}
 			}
 			s.mu.Unlock()
@@ -621,7 +684,9 @@ func (s *SessionTransport) supervise() {
 			st := &s.send[ch]
 			for i := range st.unacked {
 				st.unacked[i].sentAt = now
-				replay[ch] = append(replay[ch], st.unacked[i].env)
+				env := st.unacked[i].env
+				env.Raw = append([]byte(nil), env.Raw...) // see handleNack
+				replay[ch] = append(replay[ch], env)
 			}
 		}
 		s.mu.Unlock()

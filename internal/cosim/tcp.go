@@ -68,11 +68,16 @@ func (t *tcpTransport) Send(ch Channel, m Msg) error {
 		return fmt.Errorf("cosim: invalid channel %d", ch)
 	}
 	t.wmu[ch].Lock()
-	defer t.wmu[ch].Unlock()
-	if err := m.Encode(t.wbuf[ch]); err != nil {
-		return err
+	err := m.Encode(t.wbuf[ch])
+	if err == nil {
+		err = t.wbuf[ch].Flush()
 	}
-	return t.wbuf[ch].Flush()
+	t.wmu[ch].Unlock()
+	// Encode copied the payloads onto the wire; as the stack's bottom this
+	// transport is the terminal consumer of any pooled message (a batch
+	// flush or a chaos re-encode), so it releases the buffers.
+	m.Release()
+	return err
 }
 
 func (t *tcpTransport) Recv(ch Channel) (Msg, error) {

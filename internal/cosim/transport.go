@@ -54,6 +54,22 @@ func RecvTimeout(tr Transport, ch Channel, d time.Duration) (Msg, error) {
 //
 // Send may be called from the owning side's simulation goroutine; Recv and
 // TryRecv from the same. A transport connects exactly two peers.
+//
+// # Buffer ownership
+//
+// Send transfers ownership of the message's payload slices (Words, Raw) to
+// the transport stack: the caller must not modify or reuse them afterwards
+// (an in-process transport hands the very same slices to the receiving
+// peer; a serializing transport may still be reading them while Send
+// returns). Conversely, a message returned by Recv/TryRecv owns its
+// payloads: the receiver may keep them indefinitely, or — on the hot path —
+// copy what it needs and call Msg.Release to return pooled buffers to the
+// codec pools. Release must be called at most once per received message
+// and only by its final consumer; a payload referenced after Release may
+// be overwritten by a later decode (this aliasing is exactly what the
+// pooled-reuse fuzz and allocation tests guard against). Layered
+// transports (session, batch) follow the same rule internally: each layer
+// releases a wrapper message once its contents are copied onward.
 type Transport interface {
 	// Send enqueues m on channel ch.
 	Send(ch Channel, m Msg) error

@@ -19,6 +19,10 @@ type FarmLoadResult struct {
 	SessionsPerSec  float64
 	MeanSessionWall time.Duration
 	Retransmits     uint64
+	// SyncEvents is the total quantum boundaries simulated across all
+	// sessions (elided boundaries included — they advance virtual time),
+	// the denominator for per-quantum rates such as allocs_per_quantum.
+	SyncEvents uint64
 }
 
 // FarmSessionConfig builds the load generator's per-session workload:
@@ -78,6 +82,7 @@ func RunFarmLoad(opt Options, sessions, workers int) (FarmLoadResult, error) {
 		}
 		totalSessionWall += res.Wall
 		out.Retransmits += res.Link.Link.Retransmits
+		out.SyncEvents += res.HW.SyncEvents + res.HW.SyncsElided
 		opt.log("farm: session %d: %v", i, res)
 	}
 	out.Wall = time.Since(start)

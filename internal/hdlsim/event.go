@@ -17,6 +17,7 @@ type Event struct {
 	deltaPending bool
 	timedHandle  sim.Handle
 	timedAt      sim.Time
+	timedFn      sim.EventFunc // reusable timed-fire callback; built on first NotifyDelay
 }
 
 // NewEvent creates a named event owned by the simulator.
@@ -57,10 +58,13 @@ func (e *Event) NotifyDelay(d sim.Time) {
 		e.sim.timed.Cancel(e.timedHandle)
 	}
 	e.timedAt = at
-	e.timedHandle = e.sim.timed.Schedule(at, func() {
-		e.timedHandle = sim.Handle{}
-		e.trigger()
-	})
+	if e.timedFn == nil {
+		e.timedFn = func() {
+			e.timedHandle = sim.Handle{}
+			e.trigger()
+		}
+	}
+	e.timedHandle = e.sim.timed.Schedule(at, e.timedFn)
 }
 
 // Cancel removes any pending (delta or timed) notification.
@@ -93,7 +97,11 @@ func (e *Event) trigger() {
 	}
 	if len(e.dyn) > 0 {
 		kept := e.dyn[:0]
-		var woken []*Process
+		// Borrow the simulator's scratch for the woken list; taking it (and
+		// nil-ing the field) means a nested trigger falls back to a fresh
+		// slice instead of clobbering ours.
+		woken := e.sim.wokenSpare[:0]
+		e.sim.wokenSpare = nil
 		for _, w := range e.dyn {
 			if w.remaining > 1 {
 				w.remaining--
@@ -106,6 +114,10 @@ func (e *Event) trigger() {
 		for _, p := range woken {
 			p.wakeFromWait(e)
 		}
+		for i := range woken {
+			woken[i] = nil
+		}
+		e.sim.wokenSpare = woken[:0]
 	}
 }
 

@@ -95,6 +95,7 @@ type Simulator struct {
 	updatesSpare  []updater // recycled backing array for the update phase
 	deltaNotified []*Event
 	notifiedSpare []*Event
+	wokenSpare    []*Process // recycled scratch for Event.trigger's woken list
 
 	processes []*Process
 	signals   []namedSignal

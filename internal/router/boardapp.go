@@ -85,6 +85,11 @@ type BoardApp struct {
 
 	lastSeq uint32 // DSR-owned
 
+	cks      iss.ChecksumRunner // persistent ISS for TimingISS verification
+	wordsBuf []uint16           // reused checksum-input scratch (app-thread-owned)
+	msgFree  [][]uint32         // recycled mailbox messages; DSR and app thread
+	// share one kernel goroutine, so the freelist needs no locking
+
 	stats AppStats
 }
 
@@ -129,12 +134,19 @@ func (a *BoardApp) drainRing() {
 			a.stats.Overruns++ // slot already overwritten
 			continue
 		}
-		slot := a.dev.PeekShadowBlock(SlotAddr(seq), SlotWords)
-		msg := make([]uint32, 0, SlotWords+1)
+		var msg []uint32
+		if n := len(a.msgFree); n > 0 {
+			msg = a.msgFree[n-1][:0]
+			a.msgFree[n-1] = nil
+			a.msgFree = a.msgFree[:n-1]
+		} else {
+			msg = make([]uint32, 0, SlotWords+1)
+		}
 		msg = append(msg, seq)
-		msg = append(msg, slot...)
+		msg = a.dev.AppendShadowBlock(msg, SlotAddr(seq), SlotWords)
 		if !a.mb.TryPut(msg) {
 			a.stats.MboxDrops++
+			a.msgFree = append(a.msgFree, msg)
 		}
 	}
 	a.lastSeq = newest
@@ -164,22 +176,29 @@ func (a *BoardApp) serve(c *rtos.ThreadCtx) {
 		if valid {
 			verdict = 1
 		}
+		// The verdict pair is allocated per packet on purpose: PostWrite may
+		// keep the slice in flight across quanta, so a reused scratch here
+		// would alias live wire data.
 		if _, err := a.dev.Write(c, RegVerdictBase, []uint32{seq, verdict}); err != nil {
 			panic(fmt.Sprintf("router: verdict write failed: %v", err))
 		}
 		if a.wd != nil {
 			a.wd.Kick()
 		}
+		// msg is fully consumed (verify copies what it needs), so the
+		// buffer can go back to the DSR's freelist.
+		a.msgFree = append(a.msgFree, msg)
 	}
 }
 
 // verify computes the checksum of p's contents and compares it with the
 // stored field, charging the software cost per the configured model.
 func (a *BoardApp) verify(c *rtos.ThreadCtx, p packet.Packet) bool {
-	words := checksumInputWords(p)
+	a.wordsBuf = appendChecksumInputWords(a.wordsBuf[:0], p)
+	words := a.wordsBuf
 	switch a.cfg.Timing {
 	case TimingISS:
-		cks, cycles, err := iss.RunChecksum(words)
+		cks, cycles, err := a.cks.Run(words)
 		if err != nil {
 			panic(fmt.Sprintf("router: ISS checksum: %v", err))
 		}
@@ -196,10 +215,15 @@ func (a *BoardApp) verify(c *rtos.ThreadCtx, p packet.Packet) bool {
 // checksumInputWords flattens the checksummed packet fields to 16-bit
 // words in the same order as packet.ComputeChecksum.
 func checksumInputWords(p packet.Packet) []uint16 {
-	words := make([]uint16, 0, 4+2*len(p.Data))
-	words = append(words, p.Src, p.Dst, uint16(p.ID>>16), uint16(p.ID))
+	return appendChecksumInputWords(make([]uint16, 0, 4+2*len(p.Data)), p)
+}
+
+// appendChecksumInputWords is the allocation-free form: it appends the
+// flattened words to dst (hot callers pass a reused scratch slice).
+func appendChecksumInputWords(dst []uint16, p packet.Packet) []uint16 {
+	dst = append(dst, p.Src, p.Dst, uint16(p.ID>>16), uint16(p.ID))
 	for _, d := range p.Data {
-		words = append(words, uint16(d>>16), uint16(d))
+		dst = append(dst, uint16(d>>16), uint16(d))
 	}
-	return words
+	return dst
 }

@@ -2,11 +2,15 @@ package rtos
 
 import "container/heap"
 
-// alarm is one pending SW-tick-scheduled callback.
+// alarm is one pending SW-tick-scheduled callback. Records are recycled
+// through the queue's freelist after expiry, so the steady-state tick loop
+// does not allocate. The common sleep case carries the thread to wake
+// directly in wake instead of a closure (one less allocation per Sleep).
 type alarm struct {
-	at  uint64 // absolute SW tick
-	seq uint64
-	fn  func()
+	at   uint64 // absolute SW tick
+	seq  uint64
+	fn   func()
+	wake *Thread // when non-nil: ready this thread if still sleeping
 }
 
 type alarmHeap []*alarm
@@ -32,12 +36,40 @@ func (h *alarmHeap) Pop() any {
 // alarmQueue is the kernel's alarm list, keyed by absolute SW tick, with
 // FIFO ordering among alarms for the same tick (deterministic expiry).
 type alarmQueue struct {
-	h   alarmHeap
-	seq uint64
+	h    alarmHeap
+	seq  uint64
+	free []*alarm // recycled records; bounded by peak outstanding alarms
+}
+
+func (q *alarmQueue) get() *alarm {
+	if n := len(q.free); n > 0 {
+		a := q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		return a
+	}
+	return &alarm{}
+}
+
+func (q *alarmQueue) recycle(a *alarm) {
+	a.fn = nil
+	a.wake = nil
+	q.free = append(q.free, a)
 }
 
 func (q *alarmQueue) add(atTick uint64, fn func()) {
-	heap.Push(&q.h, &alarm{at: atTick, seq: q.seq, fn: fn})
+	a := q.get()
+	a.at, a.seq, a.fn = atTick, q.seq, fn
+	heap.Push(&q.h, a)
+	q.seq++
+}
+
+// addWake schedules a closure-free sleep expiry: at atTick, t is readied
+// if it is still sleeping.
+func (q *alarmQueue) addWake(atTick uint64, t *Thread) {
+	a := q.get()
+	a.at, a.seq, a.wake = atTick, q.seq, t
+	heap.Push(&q.h, a)
 	q.seq++
 }
 
@@ -56,7 +88,15 @@ func (q *alarmQueue) peek() (uint64, bool) {
 func (q *alarmQueue) expire(k *Kernel, tick uint64) {
 	for len(q.h) > 0 && q.h[0].at <= tick {
 		a := heap.Pop(&q.h).(*alarm)
-		a.fn()
+		fn, wake := a.fn, a.wake
+		q.recycle(a) // fields saved; fn may schedule new alarms reusing this record
+		if wake != nil {
+			if wake.state == ThreadSleeping {
+				k.ready(wake)
+			}
+			continue
+		}
+		fn()
 	}
 }
 

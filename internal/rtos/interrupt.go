@@ -20,8 +20,9 @@ type irqLine struct {
 }
 
 type interruptController struct {
-	lines [NumIRQs]irqLine
-	dsrq  []*irqLine
+	lines   [NumIRQs]irqLine
+	dsrq    []*irqLine
+	dsrHead int // consumed prefix of dsrq; backing array reused once drained
 }
 
 func (ic *interruptController) init() {
@@ -62,11 +63,22 @@ func (ic *interruptController) queueDSR(l *irqLine) {
 }
 
 func (ic *interruptController) nextDSR() *irqLine {
-	if len(ic.dsrq) == 0 {
+	if ic.dsrHead >= len(ic.dsrq) {
+		if len(ic.dsrq) > 0 {
+			// Fully drained: rewind so the backing array is reused instead
+			// of creeping forward one slice header per DSR.
+			ic.dsrq = ic.dsrq[:0]
+			ic.dsrHead = 0
+		}
 		return nil
 	}
-	l := ic.dsrq[0]
-	ic.dsrq = ic.dsrq[1:]
+	l := ic.dsrq[ic.dsrHead]
+	ic.dsrq[ic.dsrHead] = nil
+	ic.dsrHead++
+	if ic.dsrHead == len(ic.dsrq) {
+		ic.dsrq = ic.dsrq[:0]
+		ic.dsrHead = 0
+	}
 	l.dsrQueued = false
 	return l
 }

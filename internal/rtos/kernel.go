@@ -213,7 +213,9 @@ func (k *Kernel) pickNext() *Thread {
 			if k.state == StateIdle && !t.comm {
 				continue
 			}
-			k.runq[p] = append(append([]*Thread{}, q[:i]...), q[i+1:]...)
+			copy(q[i:], q[i+1:])
+			q[len(q)-1] = nil
+			k.runq[p] = q[:len(q)-1]
 			return t
 		}
 	}

@@ -195,7 +195,9 @@ func (k *Kernel) SetPriority(t *Thread, prio int) {
 	q := k.runq[t.prio]
 	for i, x := range q {
 		if x == t {
-			k.runq[t.prio] = append(append([]*Thread{}, q[:i]...), q[i+1:]...)
+			copy(q[i:], q[i+1:])
+			q[len(q)-1] = nil
+			k.runq[t.prio] = q[:len(q)-1]
 			t.prio = prio
 			k.runq[prio] = append(k.runq[prio], t)
 			return
@@ -213,11 +215,7 @@ func (c *ThreadCtx) Sleep(n uint64) {
 	t := c.t
 	k := t.k
 	t.state = ThreadSleeping
-	k.alarms.add(k.swTick+n, func() {
-		if t.state == ThreadSleeping {
-			k.ready(t)
-		}
-	})
+	k.alarms.addWake(k.swTick+n, t)
 	c.yield()
 }
 

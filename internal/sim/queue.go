@@ -8,20 +8,30 @@ type EventFunc func()
 
 // scheduledEvent is one pending timed callback. seq breaks ties between
 // events scheduled for the same instant so that pop order equals schedule
-// order, which keeps simulations deterministic.
+// order, which keeps simulations deterministic. Events are recycled through
+// the queue's freelist once popped; gen distinguishes the current
+// incarnation from stale Handles that still point at the same record.
 type scheduledEvent struct {
 	at    Time
 	seq   uint64
 	fn    EventFunc
-	index int  // heap bookkeeping
-	dead  bool // cancelled in place; skipped on pop
+	index int    // heap bookkeeping
+	dead  bool   // cancelled in place; skipped on pop
+	gen   uint32 // incremented on recycle; stale Handles mismatch
 }
 
-// Handle identifies a scheduled event so it can be cancelled.
-type Handle struct{ ev *scheduledEvent }
+// Handle identifies a scheduled event so it can be cancelled. A Handle
+// outliving its event (fired or cancelled, record recycled) is harmless:
+// Valid reports false and Cancel is a no-op.
+type Handle struct {
+	ev  *scheduledEvent
+	gen uint32
+}
 
 // Valid reports whether the handle refers to a still-pending event.
-func (h Handle) Valid() bool { return h.ev != nil && !h.ev.dead && h.ev.index >= 0 }
+func (h Handle) Valid() bool {
+	return h.ev != nil && h.ev.gen == h.gen && !h.ev.dead && h.ev.index >= 0
+}
 
 type eventHeap []*scheduledEvent
 
@@ -60,6 +70,28 @@ type Queue struct {
 	h      eventHeap
 	seq    uint64
 	popped uint64
+	free   []*scheduledEvent // recycled records; bounded by peak outstanding events
+}
+
+// get takes an event record from the freelist, allocating only when the
+// queue has never been this deep before.
+func (q *Queue) get() *scheduledEvent {
+	if n := len(q.free); n > 0 {
+		ev := q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		return ev
+	}
+	return &scheduledEvent{}
+}
+
+// recycle returns a popped record to the freelist, bumping its generation
+// so outstanding Handles to the old incarnation go stale.
+func (q *Queue) recycle(ev *scheduledEvent) {
+	ev.gen++
+	ev.fn = nil
+	ev.dead = false
+	q.free = append(q.free, ev)
 }
 
 // NewQueue returns an empty event queue.
@@ -83,10 +115,11 @@ func (q *Queue) Empty() bool { return q.Len() == 0 }
 // Schedule registers fn to run at the absolute time at. It returns a handle
 // that can cancel the event before it fires.
 func (q *Queue) Schedule(at Time, fn EventFunc) Handle {
-	ev := &scheduledEvent{at: at, seq: q.seq, fn: fn}
+	ev := q.get()
+	ev.at, ev.seq, ev.fn = at, q.seq, fn
 	q.seq++
 	heap.Push(&q.h, ev)
-	return Handle{ev: ev}
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // Cancel removes a pending event. Cancelling an already-fired or
@@ -118,7 +151,9 @@ func (q *Queue) Pop() (at Time, fn EventFunc, ok bool) {
 	}
 	ev := heap.Pop(&q.h).(*scheduledEvent)
 	q.popped++
-	return ev.at, ev.fn, true
+	at, fn = ev.at, ev.fn
+	q.recycle(ev)
+	return at, fn, true
 }
 
 // Popped returns the number of events executed so far; exposed for
@@ -127,6 +162,6 @@ func (q *Queue) Popped() uint64 { return q.popped }
 
 func (q *Queue) skipDead() {
 	for len(q.h) > 0 && q.h[0].dead {
-		heap.Pop(&q.h)
+		q.recycle(heap.Pop(&q.h).(*scheduledEvent))
 	}
 }
