@@ -9,7 +9,7 @@ BENCH_RUNS ?= 3
 STATICCHECK_MOD := honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK_MOD := golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: all vet build test race fuzz-smoke farm-soak bench-json bench-gate bench-adaptive staticcheck govulncheck lint ci
+.PHONY: all vet build test race fuzz-smoke farm-soak bench-json bench-gate bench-adaptive staticcheck govulncheck cosim-lint lint lint-fix-check ci
 
 all: build
 
@@ -61,10 +61,21 @@ staticcheck:
 govulncheck:
 	$(GO) run $(GOVULNCHECK_MOD) ./...
 
-# lint runs both pinned linters when they are fetchable (CI) and skips
-# cleanly offline: the repository must keep building and testing with no
-# network at all.
-lint:
+# cosim-lint runs the in-repo analyzer suite (pooled-buffer ownership,
+# simulation determinism, obs-handle hygiene — see docs/STATIC_ANALYSIS.md).
+# It is pure stdlib and needs no network, so it always runs.
+cosim-lint:
+	$(GO) run ./cmd/cosim-lint ./...
+
+# lint-fix-check produces the machine-readable findings artifact CI
+# uploads (cosim-lint.json) alongside the per-file console summary.
+lint-fix-check:
+	$(GO) run ./cmd/cosim-lint -json -out cosim-lint.json ./...
+
+# lint always runs the in-repo suite, then the pinned external linters
+# when they are fetchable (CI) — skipping those cleanly offline: the
+# repository must keep building and testing with no network at all.
+lint: cosim-lint
 	@if $(GO) run $(STATICCHECK_MOD) -version >/dev/null 2>&1; then \
 		$(GO) run $(STATICCHECK_MOD) ./...; \
 	else \

@@ -73,6 +73,9 @@ func NewBatchTransport(inner Transport) *BatchTransport {
 func (t *BatchTransport) Send(ch Channel, m Msg) error {
 	if ch == ChanClock {
 		if err := t.Flush(); err != nil {
+			// Send owns m; a failed flush means it never reaches the wire,
+			// so its payloads go back to the pool here.
+			m.Release()
 			return err
 		}
 		t.bypassed.Add(1)
@@ -83,6 +86,7 @@ func (t *BatchTransport) Send(ch Channel, m Msg) error {
 		// Too large to ever share a batch: flush what's pending on this
 		// channel (order!) and send it as its own frame.
 		if err := t.flushChan(ch); err != nil {
+			m.Release()
 			return err
 		}
 		t.bypassed.Add(1)
@@ -90,6 +94,7 @@ func (t *BatchTransport) Send(ch Channel, m Msg) error {
 	}
 	if t.pendBytes[ch]+sz > maxBatchPayload {
 		if err := t.flushChan(ch); err != nil {
+			m.Release()
 			return err
 		}
 	}
@@ -148,26 +153,36 @@ func (t *BatchTransport) flushChan(ch Channel) error {
 func splitBatch(m Msg, out []Msg) ([]Msg, error) {
 	p := m.Raw
 	start := len(out)
+	// A malformed batch aborts mid-decode: the entries already opened own
+	// pooled payloads and must be recycled, and the caller keeps the
+	// truncated slice so its scratch backing array survives.
+	fail := func(err error) ([]Msg, error) {
+		for i := start; i < len(out); i++ {
+			out[i].Release()
+		}
+		return out[:start], err
+	}
 	for len(p) > 0 {
 		if len(p) < 4 {
-			return nil, fmt.Errorf("cosim: truncated batch entry header")
+			return fail(fmt.Errorf("cosim: truncated batch entry header"))
 		}
 		n := binary.LittleEndian.Uint32(p)
 		if n == 0 || int(n) > len(p)-4 {
-			return nil, fmt.Errorf("cosim: implausible batch entry length %d", n)
+			return fail(fmt.Errorf("cosim: implausible batch entry length %d", n))
 		}
 		inner, err := decodeBody(p[4 : 4+n])
 		if err != nil {
-			return nil, fmt.Errorf("cosim: batch entry: %w", err)
+			return fail(fmt.Errorf("cosim: batch entry: %w", err))
 		}
 		if inner.Type == MTBatch {
-			return nil, fmt.Errorf("cosim: nested batch")
+			inner.Release()
+			return fail(fmt.Errorf("cosim: nested batch"))
 		}
 		out = append(out, inner)
 		p = p[4+n:]
 	}
 	if uint32(len(out)-start) != m.Count {
-		return nil, fmt.Errorf("cosim: batch count %d but %d entries", m.Count, len(out)-start)
+		return fail(fmt.Errorf("cosim: batch count %d but %d entries", m.Count, len(out)-start))
 	}
 	return out, nil
 }

@@ -62,27 +62,33 @@ func (ep *BoardEndpoint) Metrics() *Metrics {
 // WaitGrant blocks until the simulator issues the next quantum (or ends
 // the run), draining exactly the cross-traffic the grant announces.
 func (ep *BoardEndpoint) WaitGrant() (Grant, error) {
-	t0 := time.Now()
+	t0 := time.Now() //cosim:wallclock -- sync-wait metric measures host blocking, not simulated time
 	m, err := ep.tr.Recv(ChanClock)
-	wait := time.Since(t0)
+	wait := time.Since(t0) //cosim:wallclock -- sync-wait metric measures host blocking, not simulated time
 	ep.m.SyncWait += wait
 	if err != nil {
 		return Grant{}, err
 	}
 	switch m.Type {
 	case MTFinish:
-		return Grant{Finished: true, HWCycle: m.HWCycle}, nil
+		g := Grant{Finished: true, HWCycle: m.HWCycle}
+		m.Release() // control frame: Release is the contract's no-op
+		return g, nil
 	case MTClockGrant:
 	default:
+		// A stray frame on CLOCK may carry pooled payloads; recycle them
+		// before surfacing the protocol error.
+		m.Release()
 		return Grant{}, fmt.Errorf("cosim: expected clock-grant on CLOCK, got %v", m.Type)
 	}
 	g := Grant{Ticks: m.Ticks, HWCycle: m.HWCycle, Lookahead: m.Lookahead}
+	m.Release() // grant frame carries only scalars
 	ep.m.SyncEvents++
-	ep.m.TicksGranted += m.Ticks
+	ep.m.TicksGranted += g.Ticks
 	ep.lv.observeSync(wait)
-	ep.lv.addTicks(m.Ticks)
+	ep.lv.addTicks(g.Ticks)
 	for i := uint32(0); i < m.DataCount; i++ {
-		dm, err := ep.tr.Recv(ChanData)
+		dm, err := ep.tr.Recv(ChanData) //cosim:owns -- dm.Words is retained in the returned Grant; the board consumes it within the quantum
 		if err != nil {
 			return Grant{}, err
 		}
@@ -95,6 +101,7 @@ func (ep *BoardEndpoint) WaitGrant() (Grant, error) {
 		case MTDataReadResp:
 			g.ReadResps = append(g.ReadResps, blk)
 		default:
+			dm.Release()
 			return Grant{}, fmt.Errorf("cosim: unexpected %v from simulator on DATA", dm.Type)
 		}
 	}
@@ -104,11 +111,13 @@ func (ep *BoardEndpoint) WaitGrant() (Grant, error) {
 			return Grant{}, err
 		}
 		if im.Type != MTInterrupt {
+			im.Release()
 			return Grant{}, fmt.Errorf("cosim: expected interrupt on INT, got %v", im.Type)
 		}
 		ep.m.IntRecv++
 		ep.lv.incIntRecv()
 		g.Interrupts = append(g.Interrupts, im.IRQ)
+		im.Release() // interrupt frame carries only scalars
 	}
 	return g, nil
 }

@@ -128,7 +128,7 @@ func (c *ChaosTransport) Send(ch Channel, m Msg) error {
 		if maxD <= 0 {
 			maxD = time.Millisecond
 		}
-		time.Sleep(time.Duration(delayFrac * float64(maxD)))
+		time.Sleep(time.Duration(delayFrac * float64(maxD))) //cosim:wallclock -- fault-injection delay models host link latency, not simulated time
 	}
 
 	out, lost := m, false
@@ -146,16 +146,24 @@ func (c *ChaosTransport) Send(ch Channel, m Msg) error {
 			}
 			body[bit/8] ^= 1 << (bit % 8)
 		}
-		dm, err := decodeBody(body)
+		dm, err := decodeBody(body) //cosim:owns -- dm replaces m as the outbound frame; `out` aliases it and every path below queues, sends, or releases out
 		if err != nil {
 			lost = true // unparseable on the wire: the frame is gone
 		} else {
+			// The damaged copy owns fresh pooled payloads; the original's
+			// go back to the pool here.
+			m.Release()
 			out = dm
 		}
 	}
 	if drop {
 		c.dropped.Add(1)
 		lost = true
+	}
+	if lost {
+		// The frame vanishes on the simulated wire, so this layer is its
+		// terminal consumer: recycle the payloads instead of leaking them.
+		out.Release()
 	}
 
 	var queue []Msg
@@ -186,8 +194,13 @@ func (c *ChaosTransport) Send(ch Channel, m Msg) error {
 		queue = append(queue, *l.held)
 		l.held = nil
 	}
-	for _, q := range queue {
+	for i, q := range queue {
 		if err := c.inner.Send(ch, q); err != nil {
+			// Send consumed q; the frames still queued behind it are ours
+			// to recycle before the error propagates.
+			for _, rest := range queue[i+1:] {
+				rest.Release()
+			}
 			return err
 		}
 	}

@@ -26,7 +26,7 @@ func NewDelayTransport(inner Transport, delay time.Duration) *DelayTransport {
 // Send implements Transport.
 func (d *DelayTransport) Send(ch Channel, m Msg) error {
 	if d.delay > 0 {
-		time.Sleep(d.delay)
+		time.Sleep(d.delay) //cosim:wallclock -- DelayTransport models host link latency by real sleeping
 	}
 	return d.inner.Send(ch, m)
 }

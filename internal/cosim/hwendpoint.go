@@ -184,20 +184,24 @@ func (ep *HWEndpoint) Sync(ticks, hwCycle uint64) (uint64, error) {
 // consumeAck blocks for one TimeAck and drains the DATA messages it
 // announces into the visible buffer.
 func (ep *HWEndpoint) consumeAck() error {
-	t0 := time.Now()
+	t0 := time.Now() //cosim:wallclock -- sync-wait metric measures host blocking, not simulated time
 	ack, err := RecvTimeout(ep.tr, ChanClock, ep.AckTimeout)
-	wait := time.Since(t0)
+	wait := time.Since(t0) //cosim:wallclock -- sync-wait metric measures host blocking, not simulated time
 	ep.m.SyncWait += wait
 	ep.lv.observeSync(wait)
 	if err != nil {
 		return fmt.Errorf("cosim: waiting for board acknowledgement: %w", err)
 	}
 	if ack.Type != MTTimeAck {
+		// A stray frame on CLOCK may carry pooled payloads; recycle them
+		// before surfacing the protocol error.
+		ack.Release()
 		return fmt.Errorf("cosim: expected time-ack on CLOCK, got %v", ack.Type)
 	}
 	ep.lastBoardCycle = ack.BoardCycle
 	ep.lastSWTick = ack.SWTick
 	ep.lastLookahead = ack.Lookahead
+	ack.Release() // ack frame carries only scalars
 	ep.outstanding--
 	for i := uint32(0); i < ack.DataCount; i++ {
 		dm, err := RecvTimeout(ep.tr, ChanData, ep.AckTimeout)
@@ -277,10 +281,12 @@ func (ep *HWEndpoint) Finish(hwCycle uint64) error {
 		return err
 	}
 	if ack.Type != MTFinishAck {
+		ack.Release()
 		return fmt.Errorf("cosim: expected finish-ack, got %v", ack.Type)
 	}
 	ep.lastBoardCycle = ack.BoardCycle
 	ep.lastSWTick = ack.SWTick
+	ack.Release() // finish-ack carries only scalars
 	return nil
 }
 

@@ -24,13 +24,13 @@ type Metrics struct {
 
 // Start stamps the beginning of the measured region. Both endpoint
 // constructors call it, so StopClock always has a reference point.
-func (m *Metrics) Start() { m.WallStart = time.Now() }
+func (m *Metrics) Start() { m.WallStart = time.Now() } //cosim:wallclock -- wall-clock run metric, reported alongside simulated time
 
 // StopClock records the elapsed wall-clock time since Start. Without a
 // prior Start it leaves Wall untouched rather than recording garbage.
 func (m *Metrics) StopClock() {
 	if !m.WallStart.IsZero() {
-		m.Wall = time.Since(m.WallStart)
+		m.Wall = time.Since(m.WallStart) //cosim:wallclock -- wall-clock run metric, reported alongside simulated time
 	}
 }
 

@@ -133,7 +133,7 @@ func (l *MuxListener) reject(c net.Conn) {
 // attach; on success it acknowledges with a hello of its own and files
 // the connection under its session.
 func (l *MuxListener) handshake(c net.Conn) {
-	_ = c.SetDeadline(time.Now().Add(muxHandshakeTimeout))
+	_ = c.SetDeadline(time.Now().Add(muxHandshakeTimeout)) //cosim:wallclock -- handshake deadline guards the host TCP connection
 	var tag [1]byte
 	if _, err := c.Read(tag[:]); err != nil {
 		l.reject(c)
@@ -145,18 +145,25 @@ func (l *MuxListener) handshake(c net.Conn) {
 		return
 	}
 	hello, err := Decode(c)
+	// Release on both arms: a well-formed hello carries only scalars, and
+	// a stray frame may carry pooled payloads.
 	if err != nil || hello.Type != MTHello || hello.Version != ProtocolVersion {
+		hello.Release()
 		l.reject(c)
 		return
 	}
+	hello.Release()
 	attach, err := Decode(c)
 	if err != nil || attach.Type != MTAttach || attach.Version != ProtocolVersion {
+		attach.Release()
 		l.reject(c)
 		return
 	}
+	sessionID := attach.Seq
+	attach.Release() // attach frame carries only scalars
 
 	l.mu.Lock()
-	p := l.pending[attach.Seq]
+	p := l.pending[sessionID]
 	l.mu.Unlock()
 	if p == nil {
 		l.reject(c) // unknown session ID
@@ -307,7 +314,7 @@ func DialTCPSession(addr string, sessionID uint64) (Transport, error) {
 			return nil, err
 		}
 		conns[ch] = c
-		_ = c.SetDeadline(time.Now().Add(muxHandshakeTimeout))
+		_ = c.SetDeadline(time.Now().Add(muxHandshakeTimeout)) //cosim:wallclock -- handshake deadline guards the host TCP connection
 		if _, err := c.Write([]byte{byte(ch)}); err != nil {
 			closeAll()
 			return nil, err
@@ -328,9 +335,11 @@ func DialTCPSession(addr string, sessionID uint64) (Transport, error) {
 			return nil, fmt.Errorf("%w (session %d, %v channel)", ErrSessionRejected, sessionID, ch)
 		}
 		if ack.Type != MTHello || ack.Version != ProtocolVersion {
+			ack.Release() // a stray frame may carry pooled payloads
 			closeAll()
 			return nil, fmt.Errorf("cosim: bad accept-ack %v on %v channel", ack.Type, ch)
 		}
+		ack.Release() // accept-ack carries only scalars
 		_ = c.SetDeadline(time.Time{})
 	}
 	return newTCPTransport(conns), nil

@@ -225,7 +225,7 @@ func NewSessionTransport(inner Transport, cfg SessionConfig) *SessionTransport {
 		s.inbox[i] = make(chan Msg, tcpInboxDepth)
 		s.outbox[i] = make(chan Msg, tcpInboxDepth)
 	}
-	s.lastRecv.Store(time.Now().UnixNano())
+	s.lastRecv.Store(time.Now().UnixNano()) //cosim:wallclock -- liveness stamp feeds the host-side heartbeat supervisor
 	for ch := Channel(0); ch < numChannels; ch++ {
 		go s.readLoop(0, inner, ch)
 		go s.writeLoop(ch)
@@ -299,7 +299,7 @@ func (s *SessionTransport) Send(ch Channel, m Msg) error {
 	body = m.appendBody(body)
 	st.nextSeq++
 	env := Msg{Type: MTSessionData, Seq: st.nextSeq, Crc: sessionCRC(st.nextSeq, body), Raw: body}
-	st.unacked = append(st.unacked, pendingEnv{env: env, sentAt: time.Now()})
+	st.unacked = append(st.unacked, pendingEnv{env: env, sentAt: time.Now()}) //cosim:wallclock -- RTO clock: retransmission timing is host-side link recovery
 	s.mu.Unlock()
 	// The payload is copied into the envelope body, so a pooled message
 	// (e.g. a batch flush) can be released here — the session is its
@@ -378,7 +378,7 @@ func (s *SessionTransport) readLoop(gen int, tr Transport, ch Channel) {
 			s.notifyFail(gen, fmt.Errorf("cosim: %v channel: %w", ch, err))
 			return
 		}
-		s.lastRecv.Store(time.Now().UnixNano())
+		s.lastRecv.Store(time.Now().UnixNano()) //cosim:wallclock -- liveness stamp feeds the host-side heartbeat supervisor
 		switch m.Type {
 		case MTSessionData:
 			if !s.handleData(ch, m) {
@@ -390,14 +390,17 @@ func (s *SessionTransport) readLoop(gen int, tr Transport, ch Channel) {
 			} else {
 				s.crcDropped.Add(1) // loss is safe: the RTO re-acks
 			}
+			m.Release() // control frame: a corrupt one may carry stray payloads
 		case MTSessionNack:
 			if validControl(m) {
 				s.handleNack(ch, m.Seq)
 			} else {
 				s.crcDropped.Add(1)
 			}
+			m.Release()
 		case MTHeartbeat:
 			// Liveness only; lastRecv updated above.
+			m.Release()
 		default:
 			// Anything else is a corrupted frame that happened to decode
 			// as a plain message: both peers of a session speak envelopes
@@ -416,7 +419,7 @@ func (s *SessionTransport) maybeNack(ch Channel) {
 	s.mu.Lock()
 	rs := &s.recvSt[ch]
 	next := rs.lastDelivered + 1
-	now := time.Now()
+	now := time.Now() //cosim:wallclock -- nack-storm suppression runs on the host clock
 	if rs.lastNacked == next && now.Sub(rs.nackedAt) < s.cfg.RetransmitTimeout {
 		s.mu.Unlock()
 		return
@@ -499,7 +502,7 @@ func (s *SessionTransport) handleAck(ch Channel, upTo uint64) {
 func (s *SessionTransport) handleNack(ch Channel, from uint64) {
 	s.mu.Lock()
 	st := &s.send[ch]
-	now := time.Now()
+	now := time.Now() //cosim:wallclock -- RTO clock: retransmission timing is host-side link recovery
 	var resend []Msg
 	for i := range st.unacked {
 		if st.unacked[i].env.Seq >= from {
@@ -535,7 +538,7 @@ func (s *SessionTransport) rtoLoop() {
 	if period < time.Millisecond {
 		period = time.Millisecond
 	}
-	t := time.NewTicker(period)
+	t := time.NewTicker(period) //cosim:wallclock -- RTO scan ticker is host-side link recovery
 	defer t.Stop()
 	for {
 		select {
@@ -543,7 +546,7 @@ func (s *SessionTransport) rtoLoop() {
 			return
 		case <-t.C:
 		}
-		now := time.Now()
+		now := time.Now() //cosim:wallclock -- RTO clock: retransmission timing is host-side link recovery
 		for ch := Channel(0); ch < numChannels; ch++ {
 			s.mu.Lock()
 			st := &s.send[ch]
@@ -569,7 +572,7 @@ func (s *SessionTransport) rtoLoop() {
 // heartbeatLoop emits CLOCK heartbeats and watches for peer silence.
 func (s *SessionTransport) heartbeatLoop() {
 	iv := s.cfg.HeartbeatInterval
-	t := time.NewTicker(iv)
+	t := time.NewTicker(iv) //cosim:wallclock -- heartbeat ticker is host-side liveness detection
 	defer t.Stop()
 	var n uint64
 	for {
@@ -581,7 +584,7 @@ func (s *SessionTransport) heartbeatLoop() {
 		n++
 		s.sendControl(ChanClock, controlMsg(MTHeartbeat, n))
 		s.hbSent.Add(1)
-		silent := time.Since(time.Unix(0, s.lastRecv.Load()))
+		silent := time.Since(time.Unix(0, s.lastRecv.Load())) //cosim:wallclock -- heartbeat silence window is host-side liveness detection
 		if silent <= iv {
 			continue
 		}
@@ -603,7 +606,7 @@ func (s *SessionTransport) heartbeatLoop() {
 		}
 		s.notifyFail(gen, ErrPeerDead)
 		// Re-arm; the supervisor resets lastRecv after reconnecting.
-		s.lastRecv.Store(time.Now().UnixNano())
+		s.lastRecv.Store(time.Now().UnixNano()) //cosim:wallclock -- liveness stamp feeds the host-side heartbeat supervisor
 	}
 }
 
@@ -661,7 +664,7 @@ func (s *SessionTransport) supervise() {
 			select {
 			case <-s.closed:
 				return
-			case <-time.After(backoff):
+			case <-time.After(backoff): //cosim:wallclock -- redial backoff paces host reconnection attempts
 			}
 			backoff *= 2
 			if backoff > s.cfg.RedialBackoffMax {
@@ -678,7 +681,7 @@ func (s *SessionTransport) supervise() {
 		s.mu.Lock()
 		s.inner = tr
 		s.reconnecting = false
-		now := time.Now()
+		now := time.Now() //cosim:wallclock -- RTO clock: retransmission timing is host-side link recovery
 		var replay [numChannels][]Msg
 		for ch := range s.send {
 			st := &s.send[ch]
@@ -726,7 +729,7 @@ func (s *SessionTransport) recvTimeout(ch Channel, d time.Duration) (Msg, error)
 	if ch >= numChannels {
 		return Msg{}, fmt.Errorf("cosim: invalid channel %d", ch)
 	}
-	timer := time.NewTimer(d)
+	timer := time.NewTimer(d) //cosim:wallclock -- receive timeout bounds host I/O, not simulated time
 	defer timer.Stop()
 	select {
 	case m := <-s.inbox[ch]:

@@ -95,7 +95,7 @@ func (t *tcpTransport) recvTimeout(ch Channel, d time.Duration) (Msg, error) {
 	if ch >= numChannels {
 		return Msg{}, fmt.Errorf("cosim: invalid channel %d", ch)
 	}
-	timer := time.NewTimer(d)
+	timer := time.NewTimer(d) //cosim:wallclock -- receive timeout bounds host I/O, not simulated time
 	defer timer.Stop()
 	select {
 	case m, ok := <-t.inbox[ch]:
@@ -176,14 +176,19 @@ func (l *Listener) Accept() (Transport, error) {
 			return nil, fmt.Errorf("cosim: bad or duplicate channel tag %d", tag[0])
 		}
 		m, err := Decode(c)
+		// Release on every arm: a well-formed hello carries only scalars,
+		// and a stray frame may carry pooled payloads.
 		if err != nil || m.Type != MTHello {
+			m.Release()
 			c.Close()
 			return nil, fmt.Errorf("cosim: missing hello on %v channel: %v", ch, err)
 		}
 		if m.Version != ProtocolVersion {
+			m.Release()
 			c.Close()
 			return nil, fmt.Errorf("cosim: protocol version mismatch: board %d, simulator %d", m.Version, ProtocolVersion)
 		}
+		m.Release() // hello carries only scalars
 		conns[ch] = c
 		seen++
 	}

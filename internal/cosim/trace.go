@@ -26,14 +26,14 @@ type TraceTransport struct {
 
 // NewTraceTransport wraps inner, logging to w.
 func NewTraceTransport(inner Transport, w io.Writer) *TraceTransport {
-	return &TraceTransport{inner: inner, w: w, start: time.Now()}
+	return &TraceTransport{inner: inner, w: w, start: time.Now()} //cosim:wallclock -- trace timestamps are debugging metadata, not simulated state
 }
 
 func (t *TraceTransport) log(dir string, ch Channel, m Msg) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	fmt.Fprintf(t.w, "+%.6fs %s %-5s %s\n",
-		time.Since(t.start).Seconds(), dir, ch, SummarizeMsg(m))
+		time.Since(t.start).Seconds(), dir, ch, SummarizeMsg(m)) //cosim:wallclock -- trace timestamps are debugging metadata, not simulated state
 }
 
 // Send implements Transport.

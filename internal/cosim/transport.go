@@ -31,7 +31,7 @@ func RecvTimeout(tr Transport, ch Channel, d time.Duration) (Msg, error) {
 		return rt.recvTimeout(ch, d)
 	}
 	// Fallback for wrappers that do not expose the capability: poll.
-	deadline := time.Now().Add(d)
+	deadline := time.Now().Add(d) //cosim:wallclock -- receive timeout bounds host I/O, not simulated time
 	for {
 		m, ok, err := tr.TryRecv(ch)
 		if err != nil {
@@ -40,10 +40,10 @@ func RecvTimeout(tr Transport, ch Channel, d time.Duration) (Msg, error) {
 		if ok {
 			return m, nil
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //cosim:wallclock -- receive timeout bounds host I/O, not simulated time
 			return Msg{}, ErrTimeout
 		}
-		time.Sleep(50 * time.Microsecond)
+		time.Sleep(50 * time.Microsecond) //cosim:wallclock -- poll backoff between host-side TryRecv attempts
 	}
 }
 
@@ -165,7 +165,7 @@ func (t *inprocTransport) recvTimeout(ch Channel, d time.Duration) (Msg, error) 
 	if ch >= numChannels {
 		return Msg{}, fmt.Errorf("cosim: invalid channel %d", ch)
 	}
-	timer := time.NewTimer(d)
+	timer := time.NewTimer(d) //cosim:wallclock -- receive timeout bounds host I/O, not simulated time
 	defer timer.Stop()
 	select {
 	case m := <-t.recv.ch[ch]:

@@ -2,6 +2,34 @@ package iss
 
 import "fmt"
 
+// The assembler tables map mnemonic → funct encoding; disassembly needs
+// the inverse. Each table is injective, so these reverse maps are
+// well-defined, and a direct lookup replaces an order-sensitive scan.
+var (
+	mName      = invert(mFunct)
+	iName      = invert(iFunct)
+	loadName   = invert(loadFunct)
+	storeName  = invert(storeFunct)
+	branchName = invert(branchFunct)
+	rName      = invertR(rFunct)
+)
+
+func invert(m map[string]uint32) map[uint32]string {
+	out := make(map[uint32]string, len(m))
+	for name, f3 := range m { //cosim:ignore determinism -- per-key write into the inverse of an injective map; result is order-independent
+		out[f3] = name
+	}
+	return out
+}
+
+func invertR(m map[string][2]uint32) map[[2]uint32]string {
+	out := make(map[[2]uint32]string, len(m))
+	for name, f := range m { //cosim:ignore determinism -- per-key write into the inverse of an injective map; result is order-independent
+		out[f] = name
+	}
+	return out
+}
+
 // Disasm decodes one machine word into assembler syntax (the same dialect
 // Assemble accepts, with x-register names and numeric offsets). Unknown
 // encodings render as ".word 0x…" so a full round trip never fails.
@@ -18,17 +46,13 @@ func Disasm(inst uint32) string {
 	switch opcode {
 	case 0x33:
 		if funct7 == 0x01 {
-			for name, f3 := range mFunct {
-				if f3 == funct3 {
-					return fmt.Sprintf("%s %s, %s, %s", name, r(rd), r(rs1), r(rs2))
-				}
+			if name, ok := mName[funct3]; ok {
+				return fmt.Sprintf("%s %s, %s, %s", name, r(rd), r(rs1), r(rs2))
 			}
 			break
 		}
-		for name, f := range rFunct {
-			if f[0] == funct3 && f[1] == funct7 {
-				return fmt.Sprintf("%s %s, %s, %s", name, r(rd), r(rs1), r(rs2))
-			}
+		if name, ok := rName[[2]uint32{funct3, funct7}]; ok {
+			return fmt.Sprintf("%s %s, %s, %s", name, r(rd), r(rs1), r(rs2))
 		}
 	case 0x13:
 		switch funct3 {
@@ -40,31 +64,23 @@ func Disasm(inst uint32) string {
 			}
 			return fmt.Sprintf("srli %s, %s, %d", r(rd), r(rs1), rs2)
 		}
-		for name, f3 := range iFunct {
-			if f3 == funct3 {
-				return fmt.Sprintf("%s %s, %s, %d", name, r(rd), r(rs1), immI)
-			}
+		if name, ok := iName[funct3]; ok {
+			return fmt.Sprintf("%s %s, %s, %d", name, r(rd), r(rs1), immI)
 		}
 	case 0x03:
-		for name, f3 := range loadFunct {
-			if f3 == funct3 {
-				return fmt.Sprintf("%s %s, %d(%s)", name, r(rd), immI, r(rs1))
-			}
+		if name, ok := loadName[funct3]; ok {
+			return fmt.Sprintf("%s %s, %d(%s)", name, r(rd), immI, r(rs1))
 		}
 	case 0x23:
 		imm := int32(signExtend(((inst>>25)<<5)|rd, 12))
-		for name, f3 := range storeFunct {
-			if f3 == funct3 {
-				return fmt.Sprintf("%s %s, %d(%s)", name, r(rs2), imm, r(rs1))
-			}
+		if name, ok := storeName[funct3]; ok {
+			return fmt.Sprintf("%s %s, %d(%s)", name, r(rs2), imm, r(rs1))
 		}
 	case 0x63:
 		imm := int32(signExtend(
 			((inst>>31)<<12)|(((inst>>7)&1)<<11)|(((inst>>25)&0x3f)<<5)|(((inst>>8)&0xf)<<1), 13))
-		for name, f3 := range branchFunct {
-			if f3 == funct3 {
-				return fmt.Sprintf("%s %s, %s, %d", name, r(rs1), r(rs2), imm)
-			}
+		if name, ok := branchName[funct3]; ok {
+			return fmt.Sprintf("%s %s, %s, %d", name, r(rs1), r(rs2), imm)
 		}
 	case 0x6f:
 		imm := int32(signExtend(

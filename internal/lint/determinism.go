@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DeterminismConfig selects which packages the determinism analyzer
+// treats as simulated-time code.
+type DeterminismConfig struct {
+	// Strict packages advance only on the virtual clock: wall-clock
+	// reads, unseeded randomness, goroutine spawns, and map-order
+	// iteration are all forbidden.
+	Strict []string
+	// Hybrid packages host both simulated logic and host-side transport
+	// machinery (the cosim endpoint quantum loops): wall-clock and
+	// unseeded-randomness rules apply, but goroutines and map ranges are
+	// legitimate on the transport side and are not flagged.
+	Hybrid []string
+}
+
+// DefaultDeterminismConfig matches the repo layout: the simulators and
+// board model are strict; internal/cosim is hybrid.
+func DefaultDeterminismConfig() DeterminismConfig {
+	return DeterminismConfig{
+		Strict: []string{
+			"repro/internal/hdlsim",
+			"repro/internal/rtos",
+			"repro/internal/iss",
+			"repro/internal/sim",
+			"repro/internal/board",
+		},
+		Hybrid: []string{"repro/internal/cosim"},
+	}
+}
+
+// NewDeterminism builds the determinism analyzer for a package set.
+//
+// The paper's core claim is a bit-identical timed co-simulation: two
+// runs with the same seed must produce the same rendezvous sequence on
+// every host. That dies silently the moment simulated state observes
+// the host — a wall-clock read, an unseeded random draw, a goroutine
+// race, or Go's randomized map iteration order. This analyzer forbids
+// those inside the simulated-time packages; genuinely host-side code
+// (heartbeat timers, RTO clocks, metrics timestamps) is annotated
+// `//cosim:wallclock -- <why>` with a justification.
+func NewDeterminism(cfg DeterminismConfig) *Analyzer {
+	strict := make(map[string]bool, len(cfg.Strict))
+	for _, p := range cfg.Strict {
+		strict[p] = true
+	}
+	hybrid := make(map[string]bool, len(cfg.Hybrid))
+	for _, p := range cfg.Hybrid {
+		hybrid[p] = true
+	}
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "forbid wall-clock, unseeded randomness, goroutines, and map-order iteration in simulated-time packages",
+		Run: func(pass *Pass) error {
+			isStrict := matchPkg(strict, pass)
+			isHybrid := matchPkg(hybrid, pass)
+			if !isStrict && !isHybrid {
+				return nil
+			}
+			d := &detAnalysis{pass: pass, strict: isStrict}
+			for _, file := range pass.Files {
+				ast.Inspect(file, d.inspect)
+			}
+			return nil
+		},
+	}
+}
+
+// Determinism is the analyzer under the repo's default configuration.
+var Determinism = NewDeterminism(DefaultDeterminismConfig())
+
+// matchPkg reports whether the pass's package is in the set, matching
+// the import path exactly or any path suffix entry (so tests can list
+// testdata directories without knowing their absolute import path).
+func matchPkg(set map[string]bool, pass *Pass) bool {
+	path := pass.Pkg.Path()
+	if set[path] {
+		return true
+	}
+	for p := range set {
+		if strings.HasSuffix(path, "/"+p) || path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// wallClockFuncs are the time-package entry points that read or schedule
+// against the host clock. time.Duration arithmetic, time.Unix
+// construction, and formatting are fine — only host-clock observation is
+// nondeterministic.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// globalRandFuncs are math/rand package-level functions, which draw from
+// the shared, host-seeded global source. rand.New(rand.NewSource(seed))
+// is the deterministic alternative and is allowed.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true,
+}
+
+type detAnalysis struct {
+	pass   *Pass
+	strict bool
+}
+
+// reportWallclock emits a diagnostic unless the line (or enclosing
+// function) carries the //cosim:wallclock escape hatch.
+func (d *detAnalysis) reportWallclock(pos token.Pos, format string, args ...any) {
+	if d.pass.HasDirective(pos, DirWallclock) {
+		return
+	}
+	d.pass.Reportf(pos, format, args...)
+}
+
+func (d *detAnalysis) inspect(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		d.checkCall(n)
+	case *ast.GoStmt:
+		if d.strict {
+			d.reportWallclock(n.Pos(), "goroutine spawned in a simulated-time package: scheduling order is host-dependent; annotate host-side mechanisms with //cosim:wallclock -- <why>")
+		}
+	case *ast.RangeStmt:
+		if d.strict {
+			d.checkMapRange(n)
+		}
+	}
+	return true
+}
+
+func (d *detAnalysis) checkCall(call *ast.CallExpr) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	pkgName, ok := unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := d.pass.Info.Uses[pkgName].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pn.Imported().Path() {
+	case "time":
+		if wallClockFuncs[sel.Sel.Name] {
+			d.reportWallclock(call.Pos(), "time.%s reads the host clock in a simulated-time package: simulated state must advance only on virtual time; annotate genuinely host-side uses with //cosim:wallclock -- <why>", sel.Sel.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		if globalRandFuncs[sel.Sel.Name] {
+			d.pass.Reportf(call.Pos(), "rand.%s draws from the global host-seeded source: use rand.New(rand.NewSource(seed)) so runs replay bit-identically", sel.Sel.Name)
+		}
+	}
+}
+
+// checkMapRange flags `for ... := range m` over a map whose body feeds
+// simulated state: Go randomizes map iteration order, so any
+// order-dependent effect diverges between runs. Bodies that are provably
+// commutative (pure counting, per-key deletes, per-key map writes) are
+// allowed; anything else needs a sorted-key loop or an
+// `//cosim:ignore determinism -- <why>` annotation.
+func (d *detAnalysis) checkMapRange(rng *ast.RangeStmt) {
+	tv, ok := d.pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if commutativeBody(rng.Body) {
+		return
+	}
+	d.pass.Reportf(rng.Pos(), "map iteration order is randomized: an order-dependent body diverges between runs; iterate sorted keys, or annotate a commutative use with //cosim:ignore determinism -- <why>")
+}
+
+// commutativeBody conservatively recognizes loop bodies whose effect is
+// independent of iteration order: counters (x++, x += k), per-key map
+// writes/deletes, and bare continue/if wrappers around those. Anything
+// it does not recognize — appends, sends, calls, assignments to plain
+// variables — is treated as order-dependent.
+func commutativeBody(body *ast.BlockStmt) bool {
+	for _, s := range body.List {
+		if !commutativeStmt(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func commutativeStmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.IncDecStmt:
+		return true
+	case *ast.AssignStmt:
+		// Compound assignments commute (+=, -=, |=, &=, ^=) as long as
+		// the RHS is not itself order-dependent; plain = only commutes
+		// when the target is indexed by the loop key (per-key writes),
+		// which we approximate by requiring an index expression target.
+		switch s.Tok.String() {
+		case "+=", "-=", "|=", "&=", "^=":
+			return true
+		case "=":
+			// `names = append(names, k)` is the first half of the
+			// collect-then-sort idiom this check's message recommends;
+			// treat a self-append as commutative (the collected slice is
+			// a set until something orders it).
+			if len(s.Lhs) == 1 && len(s.Rhs) == 1 && isSelfAppend(s.Lhs[0], s.Rhs[0]) {
+				return true
+			}
+			for _, lhs := range s.Lhs {
+				if _, ok := unparen(lhs).(*ast.IndexExpr); !ok {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	case *ast.ExprStmt:
+		call, ok := unparen(s.X).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "delete" {
+			return true
+		}
+		return false
+	case *ast.IfStmt:
+		if s.Else != nil {
+			return false
+		}
+		return commutativeBody(s.Body)
+	case *ast.BranchStmt:
+		return s.Tok.String() == "continue"
+	case *ast.EmptyStmt:
+		return true
+	}
+	return false
+}
+
+// isSelfAppend reports whether lhs/rhs form `x = append(x, ...)` for a
+// plain identifier x.
+func isSelfAppend(lhs, rhs ast.Expr) bool {
+	target, ok := unparen(lhs).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) < 1 {
+		return false
+	}
+	fn, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	first, ok := unparen(call.Args[0]).(*ast.Ident)
+	return ok && first.Name == target.Name
+}

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// ListedPackage is the subset of `go list -json` output the loader needs.
+type ListedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+}
+
+// AnalyzedPkg is one typechecked target package.
+type AnalyzedPkg struct {
+	List  *ListedPackage
+	Files []*ast.File
+	Src   map[string][]byte
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loaded is the result of Load: every package matched by the patterns,
+// parsed and typechecked, plus the shared FileSet.
+type Loaded struct {
+	Fset *token.FileSet
+	Pkgs []*AnalyzedPkg
+}
+
+// Load resolves the patterns with `go list -deps -export` (run in dir),
+// parses each matched package from source, and typechecks it against the
+// export data of its dependencies. Export data comes from the Go build
+// cache, so repeated runs — and CI runs behind an actions/cache of
+// ~/.cache/go-build — re-typecheck only what changed; no network access
+// is ever needed.
+func Load(dir string, patterns []string) (*Loaded, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []*ListedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p ListedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (is it listed by go list -deps?)", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	loaded := &Loaded{Fset: fset}
+	for _, p := range targets {
+		pkg, err := typecheck(fset, imp, p)
+		if err != nil {
+			return nil, err
+		}
+		loaded.Pkgs = append(loaded.Pkgs, pkg)
+	}
+	return loaded, nil
+}
+
+func typecheck(fset *token.FileSet, imp types.Importer, p *ListedPackage) (*AnalyzedPkg, error) {
+	files := make([]*ast.File, 0, len(p.GoFiles))
+	src := make(map[string][]byte, len(p.GoFiles))
+	for _, name := range p.GoFiles {
+		path := filepath.Join(p.Dir, name)
+		content, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, path, content, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		files = append(files, f)
+		src[path] = content
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %w", p.ImportPath, err)
+	}
+	return &AnalyzedPkg{List: p, Files: files, Src: src, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ObsHandle guards the two ways the metrics layer has actually been
+// misused:
+//
+//  1. Handles constructed in hot paths. (*obs.Registry).Counter and
+//     friends take a lock and hash the name on every call; the intended
+//     pattern is to resolve the handle once (a struct field, a package
+//     var) and call Inc/Add/Observe on it per event. Constructing one
+//     inside a loop, or chaining the constructor straight into a use
+//     (`reg.Counter("x").Inc()`), re-resolves per event and is flagged.
+//
+//  2. Transport wrappers that swallow the stack. PR 2's zeroed-stats bug:
+//     a decorator held an inner Transport but did not expose it, so
+//     observeTransportStack could not find the instrumented layer below
+//     and every counter read zero. Any named struct type that implements
+//     cosim.Transport and stores another Transport must also implement
+//     `Unwrap() Transport`.
+var ObsHandle = &Analyzer{
+	Name: "obshandle",
+	Doc:  "require hoisted obs metric handles and Unwrap on wrapping transports",
+	Run:  runObsHandle,
+}
+
+// registryMethods are the handle constructors on *obs.Registry.
+var registryMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterFunc": true, "GaugeFunc": true,
+}
+
+func runObsHandle(pass *Pass) error {
+	o := &obsAnalysis{pass: pass}
+	o.checkWrappers()
+	for _, file := range pass.Files {
+		o.file(file)
+	}
+	return nil
+}
+
+type obsAnalysis struct {
+	pass     *Pass
+	reported map[token.Pos]bool
+}
+
+func (o *obsAnalysis) reportOnce(pos token.Pos, format string, args ...interface{}) {
+	if o.reported == nil {
+		o.reported = make(map[token.Pos]bool)
+	}
+	if o.reported[pos] {
+		return
+	}
+	o.reported[pos] = true
+	o.pass.Reportf(pos, format, args...)
+}
+
+// checkWrappers enforces rule 2 on every named struct type declared in
+// the package.
+func (o *obsAnalysis) checkWrappers() {
+	transportNamed := lookupTransportInterface(o.pass.Pkg)
+	if transportNamed == nil {
+		return
+	}
+	transport := transportNamed.Underlying().(*types.Interface)
+	unwrapper := types.NewInterfaceType([]*types.Func{
+		types.NewFunc(0, nil, "Unwrap", types.NewSignatureType(nil, nil, nil,
+			types.NewTuple(),
+			types.NewTuple(types.NewVar(0, nil, "", transportNamed)), false)),
+	}, nil)
+	unwrapper.Complete()
+
+	scope := o.pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, transport) && !types.Implements(ptr, transport) {
+			continue
+		}
+		wraps := false
+		for i := 0; i < st.NumFields(); i++ {
+			ft := st.Field(i).Type()
+			if types.Implements(ft, transport) || types.Identical(ft, transport) {
+				wraps = true
+				break
+			}
+			if p, ok := ft.(*types.Pointer); ok && types.Implements(p, transport) {
+				wraps = true
+				break
+			}
+		}
+		if !wraps {
+			continue
+		}
+		if types.Implements(named, unwrapper) || types.Implements(ptr, unwrapper) {
+			continue
+		}
+		if o.pass.HasDirective(tn.Pos(), DirIgnore) {
+			continue
+		}
+		o.pass.Reportf(tn.Pos(), "transport wrapper %s stores an inner Transport but has no Unwrap() Transport method: observeTransportStack cannot see through it and wrapped-layer stats read zero", name)
+	}
+}
+
+// file enforces rule 1: registry handle constructors must not run per
+// event.
+func (o *obsAnalysis) file(f *ast.File) {
+	var loopDepth int
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopDepth++
+			for _, s := range loopBody(n).List {
+				ast.Inspect(s, walk)
+			}
+			loopDepth--
+			return false
+		case *ast.CallExpr:
+			// Chained immediate use: reg.Counter("x").Inc() resolves the
+			// handle and uses it in one breath — the constructor result
+			// was never hoisted.
+			if sel, ok := unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if inner, ok := unparen(sel.X).(*ast.CallExpr); ok && o.isRegistryConstructor(inner) {
+					o.reportOnce(inner.Pos(), "obs handle %s is constructed and used in one chained expression: the lookup re-runs per event — construct it once and hoist it to a struct field", constructorName(inner))
+				}
+			}
+			o.checkRegistryCall(n, loopDepth > 0)
+		}
+		return true
+	}
+	ast.Inspect(f, walk)
+}
+
+func constructorName(call *ast.CallExpr) string {
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "?"
+}
+
+func (o *obsAnalysis) isRegistryConstructor(call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !registryMethods[sel.Sel.Name] {
+		return false
+	}
+	return o.isRegistryRecv(sel)
+}
+
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n.Body
+	case *ast.RangeStmt:
+		return n.Body
+	}
+	return &ast.BlockStmt{}
+}
+
+// checkRegistryCall flags a handle constructor either inside a loop or
+// immediately chained into a use (`reg.Counter("x").Inc()`), both of
+// which re-resolve the handle per event instead of hoisting it.
+func (o *obsAnalysis) checkRegistryCall(call *ast.CallExpr, inLoop bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !registryMethods[sel.Sel.Name] {
+		return
+	}
+	if !o.isRegistryRecv(sel) {
+		return
+	}
+	if inLoop {
+		o.reportOnce(call.Pos(), "obs handle %s constructed inside a loop: each call locks the registry and hashes the name — construct it once and hoist it to a struct field", sel.Sel.Name)
+	}
+}
+
+// isRegistryRecv reports whether sel.X has type *obs.Registry (or
+// obs.Registry), matching by package name so testdata fakes work.
+func (o *obsAnalysis) isRegistryRecv(sel *ast.SelectorExpr) bool {
+	tv, ok := o.pass.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+}

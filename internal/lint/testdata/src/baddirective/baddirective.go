@@ -1,0 +1,13 @@
+// Package baddirective holds directives the suite must reject: an escape
+// hatch with no justification is itself a finding.
+package baddirective
+
+import "time"
+
+func noReason() time.Time {
+	return time.Now() //cosim:wallclock
+}
+
+func noAnalyzer() {
+	_ = 1 //cosim:ignore -- a reason without naming the analyzer it silences
+}

@@ -1,0 +1,22 @@
+// Package dethybrid is the determinism analyzer's hybrid-mode golden
+// corpus: wall-clock reads are still flagged, but goroutines and map
+// ranges are host-side business as usual.
+package dethybrid
+
+import "time"
+
+func wallClock() time.Time {
+	return time.Now() // want "time.Now reads the host clock in a simulated-time package"
+}
+
+func spawnOK(fn func()) {
+	go fn()
+}
+
+func rangeOK(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s = s + k
+	}
+	return s
+}

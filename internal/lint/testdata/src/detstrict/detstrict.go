@@ -1,0 +1,93 @@
+// Package detstrict is the determinism analyzer's strict-mode golden
+// corpus (the test config lists it as a strict package).
+package detstrict
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "time.Now reads the host clock in a simulated-time package"
+}
+
+func sleeps() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the host clock in a simulated-time package"
+}
+
+func unseeded() int {
+	return rand.Int() // want "rand.Int draws from the global host-seeded source"
+}
+
+func spawn(fn func()) {
+	go fn() // want "goroutine spawned in a simulated-time package"
+}
+
+func orderDependent(m map[string]int) string {
+	s := ""
+	for k := range m { // want "map iteration order is randomized"
+		s = s + k
+	}
+	return s
+}
+
+// ---- escape hatches and negative cases ----
+
+func annotatedWallclock() time.Time {
+	return time.Now() //cosim:wallclock -- golden corpus: host-side timestamp
+}
+
+//cosim:wallclock -- golden corpus: whole function is host-side plumbing
+func annotatedFunc() {
+	time.Sleep(time.Millisecond)
+	go func() {}()
+}
+
+func annotatedRange(m map[string]int) string {
+	s := ""
+	for k := range m { //cosim:ignore determinism -- golden corpus: order accepted here
+		s = s + k
+	}
+	return s
+}
+
+func seededOK(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Int()
+}
+
+func durationMathOK(d time.Duration) time.Duration {
+	return d * 2
+}
+
+func countOK(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func collectSortedOK(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func perKeyWriteOK(src, dst map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func sliceRangeOK(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}

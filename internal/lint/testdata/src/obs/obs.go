@@ -1,0 +1,45 @@
+// Package obs is a miniature stand-in for repro/internal/obs, matched by
+// the obshandle golden tests through its package and type names.
+package obs
+
+// Registry hands out metric handles by name.
+type Registry struct{}
+
+// Counter returns the named counter handle.
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+
+// Gauge returns the named gauge handle.
+func (r *Registry) Gauge(name string) *Gauge { return &Gauge{} }
+
+// Histogram returns the named histogram handle.
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram { return &Histogram{} }
+
+// CounterFunc registers a pull-style counter.
+func (r *Registry) CounterFunc(name string, fn func() uint64) {}
+
+// GaugeFunc registers a pull-style gauge.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {}
+
+// Counter is a monotonic count.
+type Counter struct{}
+
+// Inc adds one.
+func (c *Counter) Inc() {}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {}
+
+// Gauge is a point-in-time value.
+type Gauge struct{}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {}
+
+// Add offsets by v.
+func (g *Gauge) Add(v float64) {}
+
+// Histogram is a bucketed distribution.
+type Histogram struct{}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {}

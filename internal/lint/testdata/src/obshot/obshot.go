@@ -1,0 +1,109 @@
+// Package obshot is the obshandle analyzer's golden corpus: hot-path
+// handle construction, wrapper Unwrap coverage, and their escape hatches.
+package obshot
+
+import (
+	"repro/internal/lint/testdata/src/cosim"
+	"repro/internal/lint/testdata/src/obs"
+)
+
+func chained(reg *obs.Registry) {
+	reg.Counter("events_total").Inc() // want "obs handle Counter is constructed and used in one chained expression"
+}
+
+func chainedGauge(reg *obs.Registry) {
+	reg.Gauge("depth").Set(3) // want "obs handle Gauge is constructed and used in one chained expression"
+}
+
+func inForLoop(reg *obs.Registry, n int) {
+	for i := 0; i < n; i++ {
+		c := reg.Counter("loop_total") // want "obs handle Counter constructed inside a loop"
+		c.Add(1)
+	}
+}
+
+func inRangeLoop(reg *obs.Registry, xs []int) {
+	for range xs {
+		g := reg.Gauge("range_depth") // want "obs handle Gauge constructed inside a loop"
+		g.Add(1)
+	}
+}
+
+// ---- escape hatches and negative cases ----
+
+func hoistedOK(reg *obs.Registry, n int) {
+	c := reg.Counter("ok_total")
+	for i := 0; i < n; i++ {
+		c.Add(1)
+	}
+}
+
+type worker struct {
+	hits *obs.Counter
+}
+
+func newWorker(reg *obs.Registry) *worker {
+	return &worker{hits: reg.Counter("worker_hits_total")}
+}
+
+func (w *worker) handleOK() {
+	w.hits.Inc()
+}
+
+func registrationOK(reg *obs.Registry, depth func() float64) {
+	reg.GaugeFunc("queue_depth", depth)
+	reg.CounterFunc("pulls_total", func() uint64 { return 0 })
+}
+
+func annotatedChainOK(reg *obs.Registry, id string) {
+	reg.Gauge("session_" + id).Set(1) //cosim:ignore obshandle -- golden corpus: the name is per-session
+}
+
+// opaqueWrapper decorates a Transport without exposing the chain.
+type opaqueWrapper struct { // want "transport wrapper opaqueWrapper stores an inner Transport but has no Unwrap"
+	inner cosim.Transport
+}
+
+func (w *opaqueWrapper) Send(ch cosim.Channel, m cosim.Msg) error { return w.inner.Send(ch, m) }
+func (w *opaqueWrapper) Recv(ch cosim.Channel) (cosim.Msg, error) { return w.inner.Recv(ch) }
+func (w *opaqueWrapper) TryRecv(ch cosim.Channel) (cosim.Msg, bool, error) {
+	return w.inner.TryRecv(ch)
+}
+func (w *opaqueWrapper) Close() error { return w.inner.Close() }
+
+// unwrappable decorates a Transport and exposes the chain.
+type unwrappable struct {
+	inner cosim.Transport
+}
+
+func (w *unwrappable) Send(ch cosim.Channel, m cosim.Msg) error { return w.inner.Send(ch, m) }
+func (w *unwrappable) Recv(ch cosim.Channel) (cosim.Msg, error) { return w.inner.Recv(ch) }
+func (w *unwrappable) TryRecv(ch cosim.Channel) (cosim.Msg, bool, error) {
+	return w.inner.TryRecv(ch)
+}
+func (w *unwrappable) Close() error            { return w.inner.Close() }
+func (w *unwrappable) Unwrap() cosim.Transport { return w.inner }
+
+// leaf implements Transport without wrapping one; no Unwrap required.
+type leaf struct {
+	closed bool
+}
+
+func (l *leaf) Send(ch cosim.Channel, m cosim.Msg) error          { return nil }
+func (l *leaf) Recv(ch cosim.Channel) (cosim.Msg, error)          { return cosim.Msg{}, nil }
+func (l *leaf) TryRecv(ch cosim.Channel) (cosim.Msg, bool, error) { return cosim.Msg{}, false, nil }
+func (l *leaf) Close() error                                      { l.closed = true; return nil }
+
+// annotatedWrapper hides its inner transport on purpose.
+//
+//cosim:ignore obshandle -- golden corpus: deliberately opaque decorator
+type annotatedWrapper struct {
+	inner cosim.Transport
+}
+
+func (w *annotatedWrapper) Send(ch cosim.Channel, m cosim.Msg) error { return w.inner.Send(ch, m) }
+func (w *annotatedWrapper) Recv(ch cosim.Channel) (cosim.Msg, error) { return w.inner.Recv(ch) }
+func (w *annotatedWrapper) TryRecv(ch cosim.Channel) (cosim.Msg, bool, error) {
+	return w.inner.TryRecv(ch)
+}
+func (w *annotatedWrapper) Close() error { return w.inner.Close() }

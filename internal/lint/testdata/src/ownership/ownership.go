@@ -1,0 +1,139 @@
+// Package ownership is msgownership's golden corpus: each `want`
+// comment pins one diagnostic, everything else must stay silent.
+package ownership
+
+import (
+	"repro/internal/lint/testdata/src/cosim"
+)
+
+func useAfterRelease(tr cosim.Transport) {
+	m, err := tr.Recv(cosim.ChanData)
+	if err != nil {
+		return
+	}
+	m.Release()
+	_ = m.Words // want "payload field Words read after Release"
+}
+
+func doubleRelease(tr cosim.Transport) {
+	m, err := tr.Recv(cosim.ChanData)
+	if err != nil {
+		return
+	}
+	m.Release()
+	m.Release() // want "double Release of the same message on one path"
+}
+
+func releaseAfterSend(tr cosim.Transport) {
+	m, err := tr.Recv(cosim.ChanData)
+	if err != nil {
+		return
+	}
+	if err := tr.Send(cosim.ChanInt, m); err != nil {
+		return
+	}
+	m.Release() // want "Release after Send"
+}
+
+func writeAfterSend(tr cosim.Transport) {
+	m, err := tr.Recv(cosim.ChanData)
+	if err != nil {
+		return
+	}
+	if err := tr.Send(cosim.ChanInt, m); err != nil {
+		return
+	}
+	m.Words = nil // want "payload field Words written after the message was sent"
+}
+
+func leak(tr cosim.Transport) {
+	m, err := tr.Recv(cosim.ChanData) // want "not released, sent, returned"
+	if err != nil {
+		return
+	}
+	_ = m.Addr
+}
+
+//cosim:borrows
+func borrowerReleases(m cosim.Msg) {
+	m.Release() // want "annotated //cosim:borrows but releases"
+}
+
+// ---- negative cases: correct code the analyzer must accept ----
+
+func releasedOK(tr cosim.Transport) {
+	m, err := tr.Recv(cosim.ChanData)
+	if err != nil {
+		return
+	}
+	_ = m.Words
+	m.Release()
+}
+
+func deferredReleaseOK(tr cosim.Transport) uint32 {
+	m, err := tr.Recv(cosim.ChanData)
+	if err != nil {
+		return 0
+	}
+	defer m.Release()
+	return m.Addr
+}
+
+func sentOK(tr cosim.Transport) error {
+	m, err := tr.Recv(cosim.ChanData)
+	if err != nil {
+		return err
+	}
+	return tr.Send(cosim.ChanInt, m)
+}
+
+func returnedOK(tr cosim.Transport) (cosim.Msg, error) {
+	return tr.Recv(cosim.ChanData)
+}
+
+func scalarAfterReleaseOK(tr cosim.Transport) uint32 {
+	m, err := tr.Recv(cosim.ChanData)
+	if err != nil {
+		return 0
+	}
+	m.Release()
+	// Release clears only the payload slices; scalar fields survive.
+	return m.Addr
+}
+
+func okGuardOK(tr cosim.Transport) {
+	m, ok, err := tr.TryRecv(cosim.ChanData)
+	if err != nil {
+		return
+	}
+	if !ok {
+		return
+	}
+	m.Release()
+}
+
+//cosim:borrows
+func borrowerPeeksOK(m cosim.Msg) uint32 {
+	return m.Addr
+}
+
+//cosim:owns -- the golden corpus's stand-in for a layer that retains the payload
+func ownsDirectiveOK(tr cosim.Transport) {
+	m, err := tr.Recv(cosim.ChanData)
+	if err != nil {
+		return
+	}
+	_ = m.Addr
+}
+
+func branchesMergeOK(tr cosim.Transport, fwd bool) error {
+	m, err := tr.Recv(cosim.ChanData)
+	if err != nil {
+		return err
+	}
+	if fwd {
+		return tr.Send(cosim.ChanInt, m)
+	}
+	m.Release()
+	return nil
+}

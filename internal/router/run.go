@@ -250,21 +250,31 @@ func runOnTransports(ctx context.Context, rc RunConfig, hwBase, boardBase cosim.
 		return res, err
 	}
 	if rc.Obs != nil {
-		rc.Obs.Counter("router_runs_started_total").Inc()
+		// Handles are resolved once up front; a run starts and finishes
+		// exactly once, so none of these belong on a struct.
+		started := rc.Obs.Counter("router_runs_started_total")
+		started.Inc()
 		active := rc.Obs.Gauge("router_active_runs")
 		active.Add(1)
+		failed := rc.Obs.Counter("router_runs_failed_total")
+		completed := rc.Obs.Counter("router_runs_completed_total")
+		lastAccuracy := rc.Obs.Gauge("router_last_accuracy_pct")
+		lastWall := rc.Obs.Gauge("router_last_wall_seconds")
+		lastGenerated := rc.Obs.Gauge("router_last_generated_packets")
+		lastSyncEvents := rc.Obs.Gauge("router_last_sync_events")
+		lastTSync := rc.Obs.Gauge("router_last_tsync")
 		defer func() {
 			active.Add(-1)
 			if err != nil {
-				rc.Obs.Counter("router_runs_failed_total").Inc()
+				failed.Inc()
 				return
 			}
-			rc.Obs.Counter("router_runs_completed_total").Inc()
-			rc.Obs.Gauge("router_last_accuracy_pct").Set(100 * result.Accuracy)
-			rc.Obs.Gauge("router_last_wall_seconds").Set(result.Wall.Seconds())
-			rc.Obs.Gauge("router_last_generated_packets").Set(float64(result.Generated))
-			rc.Obs.Gauge("router_last_sync_events").Set(float64(result.HW.SyncEvents))
-			rc.Obs.Gauge("router_last_tsync").Set(float64(result.TSync))
+			completed.Inc()
+			lastAccuracy.Set(100 * result.Accuracy)
+			lastWall.Set(result.Wall.Seconds())
+			lastGenerated.Set(float64(result.Generated))
+			lastSyncEvents.Set(float64(result.HW.SyncEvents))
+			lastTSync.Set(float64(result.TSync))
 		}()
 	}
 	tb := BuildTestbench(rc.TB)

@@ -3,6 +3,7 @@ package rtos
 import (
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Describe writes a snapshot of the kernel — time counters, OS state, and
@@ -31,7 +32,13 @@ func (k *Kernel) Describe(w io.Writer) error {
 			t.name, t.prio, t.state, t.cyclesUsed, t.slice, comm, cur)
 	}
 	fmt.Fprintf(w, "drivers (%d):", len(k.drivers))
+	// Sorted so two runs of the same workload produce byte-identical dumps.
+	names := make([]string, 0, len(k.drivers))
 	for name := range k.drivers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		fmt.Fprintf(w, " %s", name)
 	}
 	fmt.Fprintln(w)

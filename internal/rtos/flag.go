@@ -31,13 +31,19 @@ func (f *Flag) Peek() uint32 { return f.bits }
 // holds. Safe from DSR context.
 func (f *Flag) Set(bits uint32) {
 	f.bits |= bits
-	// Wake satisfied waiters; iterate over a copy since wakes mutate.
-	for th, cond := range f.conds {
-		if f.satisfied(cond) {
-			delete(f.conds, th)
-			if th.state == ThreadBlocked && f.wq.remove(th) {
-				f.k.ready(th)
-			}
+	// Wake satisfied waiters in FIFO wait order. Ranging over the conds
+	// map here would ready equal-priority threads in a randomized order
+	// and diverge the schedule between runs. Walk a snapshot of the wait
+	// queue since wakes mutate it.
+	waiters := append([]*Thread(nil), f.wq.q...)
+	for _, th := range waiters {
+		cond, ok := f.conds[th]
+		if !ok || !f.satisfied(cond) {
+			continue
+		}
+		delete(f.conds, th)
+		if th.state == ThreadBlocked && f.wq.remove(th) {
+			f.k.ready(th)
 		}
 	}
 }

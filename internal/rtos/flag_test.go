@@ -1,6 +1,9 @@
 package rtos
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func TestFlagWaitAnyAndConsume(t *testing.T) {
 	k := NewKernel(testCfg())
@@ -94,6 +97,36 @@ func TestFlagMultipleWaitersSelectiveWake(t *testing.T) {
 	k.Advance(200)
 	if len(woke) != 2 {
 		t.Fatalf("woke %v, want a too", woke)
+	}
+	k.Shutdown()
+}
+
+// TestFlagSetWakesInFIFOOrder pins the wake order of equal-priority
+// waiters to their wait order. Set used to range over the conds map,
+// readying threads in Go's randomized map order — two runs of the same
+// workload could schedule the woken threads differently.
+func TestFlagSetWakesInFIFOOrder(t *testing.T) {
+	k := NewKernel(testCfg())
+	f := k.NewFlag("ev")
+	var woke []string
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("w%d", i)
+		k.CreateThread(name, 5, func(c *ThreadCtx) {
+			f.WaitAny(c, 0x1, false)
+			woke = append(woke, name)
+			c.Exit()
+		})
+	}
+	k.Advance(200) // all eight block, in creation order
+	f.Set(0x1)     // every waiter's condition now holds
+	k.Advance(400)
+	if len(woke) != 8 {
+		t.Fatalf("woke %d of 8 waiters: %v", len(woke), woke)
+	}
+	for i, name := range woke {
+		if want := fmt.Sprintf("w%d", i); name != want {
+			t.Fatalf("wake order %v is not FIFO (index %d: got %s, want %s)", woke, i, name, want)
+		}
 	}
 	k.Shutdown()
 }

@@ -123,7 +123,7 @@ func (c *Coroutine) Resume() CoroStatus {
 	}
 	if !c.started {
 		c.started = true
-		go c.run()
+		go c.run() //cosim:wallclock -- the goroutine is the coroutine's stack, not a concurrent actor: the resume/yield channel handshake admits exactly one runnable goroutine at a time, so scheduling stays deterministic
 	}
 	c.status = CoroRunning
 	c.resume <- struct{}{}
