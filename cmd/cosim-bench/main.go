@@ -128,6 +128,23 @@ func benches() []bench {
 				rc.Batch = adaptive
 			}))
 	}
+	// Transport family: the Fig.5 miniature at the pathological TSync=1 —
+	// a rendezvous every cycle, so per-frame transport cost dominates wall
+	// clock — across the three host-link transports. This is the tcp/uds/shm
+	// triple the zero-copy work is judged by (cosim-benchcmp asserts shm's
+	// speedup over tcp); shm is emitted only where the platform supports it.
+	for _, tk := range []router.TransportKind{router.TransportTCP, router.TransportUDS, router.TransportShm} {
+		if tk == router.TransportShm && !cosim.ShmSupported() {
+			continue
+		}
+		kind := tk
+		out = append(out, cosimBench(
+			fmt.Sprintf("Transport/Fig5/N=20/%s", kind), 20, 1,
+			func(rc *router.RunConfig) {
+				rc.Transport = kind
+				rc.TB.Period = 10000
+			}))
+	}
 	// Chaos point: a faulty link healed by the session layer; the
 	// retransmit count is the tracked quantity.
 	out = append(out, cosimBench("Chaos/session", 40, 1000, func(rc *router.RunConfig) {

@@ -9,10 +9,19 @@
 // A missing baseline file is not an error — the gate prints a notice
 // and exits 0, so the pipeline works on branches that predate the
 // baseline (and the baseline can simply be deleted to re-bootstrap it
-// after a deliberate perf change or a runner-hardware change). The same
-// rule applies per metric: a baseline entry without allocs_per_quantum
-// (recorded before the allocation gate existed) skips that comparison
-// only.
+// after a deliberate perf change or a runner-hardware change). A missing
+// baseline *entry* for a gated benchmark IS an error: a new family that
+// never lands in the baseline would otherwise ride ungated forever.
+// Per metric, a baseline entry without allocs_per_quantum (recorded
+// before the allocation gate existed) skips that comparison only.
+//
+// Relative-speed assertions between entries of the current file gate
+// claimed speedups independently of the baseline:
+//
+//	cosim-benchcmp -speedup "Transport/Fig5/N=20/tcp:Transport/Fig5/N=20/shm:3"
+//
+// fails unless the shm point is ≥3× faster (ns_per_op) than the tcp
+// point AND its allocs_per_quantum is no worse.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 )
 
@@ -56,9 +66,10 @@ func load(path string) (map[string]benchEntry, *benchFile, error) {
 func main() {
 	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline file")
 	current := flag.String("current", "BENCH_cosim.json", "freshly generated file")
-	prefix := flag.String("prefix", "Fig5/,Farm/,Adaptive/", "only gate benchmarks whose name has one of these comma-separated prefixes (empty = all)")
+	prefix := flag.String("prefix", "Fig5/,Farm/,Adaptive/,Transport/", "only gate benchmarks whose name has one of these comma-separated prefixes (empty = all)")
 	threshold := flag.Float64("threshold", 1.25, "fail when current/baseline ns/op exceeds this ratio")
 	allocsThreshold := flag.Float64("allocs-threshold", 1.25, "fail when current/baseline allocs_per_quantum exceeds this ratio")
+	speedup := flag.String("speedup", "", "comma-separated slow:fast:minRatio assertions over the current file (fail unless fast is minRatio× faster than slow with allocs no worse)")
 	flag.Parse()
 
 	var prefixes []string
@@ -79,30 +90,39 @@ func main() {
 		return false
 	}
 
+	// The current file is always needed (speedup assertions gate it even
+	// without a baseline). Iterate in its order so the report is stable.
+	cur, ordered, err := load(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cosim-benchcmp: %v\n", err)
+		os.Exit(1)
+	}
+	speedupFailures := checkSpeedups(cur, *speedup)
+
 	base, _, err := load(*baseline)
 	if err != nil {
 		if os.IsNotExist(err) {
 			fmt.Printf("cosim-benchcmp: no baseline at %s; skipping regression gate\n", *baseline)
+			if speedupFailures > 0 {
+				fmt.Fprintf(os.Stderr, "cosim-benchcmp: %d speedup assertion(s) failed\n", speedupFailures)
+				os.Exit(1)
+			}
 			return
 		}
 		fmt.Fprintf(os.Stderr, "cosim-benchcmp: %v\n", err)
 		os.Exit(1)
 	}
-	// Iterate in the current file's order so the report is stable.
-	_, ordered, err := load(*current)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cosim-benchcmp: %v\n", err)
-		os.Exit(1)
-	}
-	regressions := 0
+	regressions := speedupFailures
 	compared := 0
+	missing := 0
 	for _, b := range ordered.Benchmarks {
 		if !matches(b.Name) {
 			continue
 		}
 		bl, ok := base[b.Name]
 		if !ok || bl.NsPerOp <= 0 {
-			fmt.Printf("  %-28s %12d ns/op  (no baseline entry; skipped)\n", b.Name, b.NsPerOp)
+			fmt.Printf("  %-28s %12d ns/op  MISSING FROM BASELINE\n", b.Name, b.NsPerOp)
+			missing++
 			continue
 		}
 		compared++
@@ -126,7 +146,11 @@ func main() {
 				"", bl.AllocsPerQuantum, b.AllocsPerQuantum, aRatio, aVerdict)
 		}
 	}
-	if compared == 0 {
+	if missing > 0 {
+		fmt.Fprintf(os.Stderr, "cosim-benchcmp: %d gated benchmark(s) have no baseline entry — the baseline predates a new family; regenerate it (make bench, commit BENCH_cosim.json as BENCH_baseline.json) so the new numbers are gated\n", missing)
+		os.Exit(1)
+	}
+	if compared == 0 && speedupFailures == 0 {
 		fmt.Printf("cosim-benchcmp: no %q benchmarks shared with the baseline; nothing gated\n", *prefix)
 		return
 	}
@@ -136,4 +160,59 @@ func main() {
 	}
 	fmt.Printf("cosim-benchcmp: %d benchmark(s) within %.2fx ns/op and %.2fx allocs/quantum of baseline\n",
 		compared, *threshold, *allocsThreshold)
+}
+
+// checkSpeedups evaluates "slow:fast:minRatio" assertions against the
+// current file and returns the number of failures. An entry named in an
+// assertion but absent from the file fails it — except a missing *fast*
+// entry whose name ends in "/shm" on a platform that cannot emit it;
+// callers gate that path in CI where shm always exists, so absence here
+// (a exotic local platform) degrades to a warning.
+func checkSpeedups(cur map[string]benchEntry, spec string) int {
+	failures := 0
+	for _, a := range strings.Split(spec, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		parts := strings.Split(a, ":")
+		if len(parts) != 3 {
+			fmt.Fprintf(os.Stderr, "cosim-benchcmp: bad -speedup assertion %q (want slow:fast:minRatio)\n", a)
+			failures++
+			continue
+		}
+		minRatio, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || minRatio <= 0 {
+			fmt.Fprintf(os.Stderr, "cosim-benchcmp: bad -speedup ratio in %q\n", a)
+			failures++
+			continue
+		}
+		slow, okS := cur[parts[0]]
+		fast, okF := cur[parts[1]]
+		if !okF && strings.HasSuffix(parts[1], "/shm") {
+			fmt.Printf("  speedup %s: %s not in current file (platform without shm?); skipped\n", a, parts[1])
+			continue
+		}
+		if !okS || !okF || slow.NsPerOp <= 0 || fast.NsPerOp <= 0 {
+			fmt.Fprintf(os.Stderr, "cosim-benchcmp: speedup assertion %q references entries missing from the current file\n", a)
+			failures++
+			continue
+		}
+		ratio := float64(slow.NsPerOp) / float64(fast.NsPerOp)
+		verdict := "ok"
+		if ratio < minRatio {
+			verdict = "TOO SLOW"
+			failures++
+		}
+		fmt.Printf("  speedup %-44s %.2fx (need ≥%.2fx)  %s\n",
+			parts[1]+" vs "+parts[0], ratio, minRatio, verdict)
+		// The faster transport must also not buy its speed with garbage:
+		// allocs per quantum may not exceed the slow side's.
+		if fast.AllocsPerQuantum > slow.AllocsPerQuantum && slow.AllocsPerQuantum > 0 {
+			fmt.Fprintf(os.Stderr, "cosim-benchcmp: %s allocs/quantum %.2f worse than %s's %.2f\n",
+				parts[1], fast.AllocsPerQuantum, parts[0], slow.AllocsPerQuantum)
+			failures++
+		}
+	}
+	return failures
 }

@@ -61,6 +61,128 @@ func TestCoSimDeterminismProperty(t *testing.T) {
 	}
 }
 
+// TestTransportMatrixDeterminism extends the headline property to the
+// full transport matrix: for randomly drawn configurations, inproc,
+// tcp, uds, and shm runs produce bit-identical router statistics, board
+// time, AND rendezvous counts — the transport moves the same frames in
+// the same order no matter what carries them. Each run must also report
+// the transport kind that actually carried it.
+func TestTransportMatrixDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run matrix; skipped in -short")
+	}
+	kinds := []router.TransportKind{
+		router.TransportInProc, router.TransportTCP, router.TransportUDS,
+	}
+	if cosim.ShmSupported() {
+		kinds = append(kinds, router.TransportShm)
+	} else {
+		t.Log("shm transport unsupported on this platform; matrix covers 3 kinds")
+	}
+
+	rng := rand.New(rand.NewSource(20260808))
+	for trial := 0; trial < 4; trial++ {
+		rc := router.DefaultRunConfig()
+		rc.TB.PacketsPerPort = 3 + rng.Intn(8)
+		rc.TB.Period = uint64(200 + rng.Intn(1200))
+		rc.TB.DataWords = 1 + rng.Intn(12)
+		rc.TB.Seed = rng.Int63()
+		rc.TSync = uint64(50 + rng.Intn(2000))
+		if rng.Intn(2) == 0 {
+			rc.Mode = cosim.SyncPipelined
+		}
+
+		type outcome struct {
+			r      router.Stats
+			cycles uint64
+			ticks  uint64
+			syncs  uint64
+		}
+		var want outcome
+		for i, tk := range kinds {
+			cfg := rc
+			cfg.Transport = tk
+			res, err := router.RunCoSim(cfg)
+			if err != nil {
+				t.Fatalf("trial %d over %v: %v", trial, tk, err)
+			}
+			if res.Conservation != nil {
+				t.Fatalf("trial %d over %v: %v", trial, tk, res.Conservation)
+			}
+			if res.TransportKind != tk {
+				t.Errorf("trial %d: result reports %v, ran over %v", trial, res.TransportKind, tk)
+			}
+			got := outcome{r: res.Router, cycles: res.BoardCycles, ticks: res.BoardSWTicks, syncs: res.HW.SyncEvents}
+			if i == 0 {
+				want = got
+			} else if got != want {
+				t.Errorf("trial %d: %v diverged from %v:\n%v %+v\n%v %+v",
+					trial, tk, kinds[0], tk, got, kinds[0], want)
+			}
+		}
+	}
+}
+
+// TestTransportChaosSoakDeterminism runs the full resilience stack —
+// frame batching over the session layer over a seeded-chaos link — on
+// the uds and shm transports, requiring each injured run to reproduce
+// the clean in-process run's bits. This is the soak that proves the new
+// local transports compose under the same ownership and ordering
+// contracts as tcp (which TestCoSimChaosSoakDeterminism covers).
+func TestTransportChaosSoakDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak; skipped in -short")
+	}
+	rc := router.DefaultRunConfig()
+	rc.TSync = 25 // >1000 quanta over the default workload
+
+	type outcome struct {
+		r      router.Stats
+		cycles uint64
+		ticks  uint64
+	}
+	run := func(tk router.TransportKind, chaos bool) (outcome, cosim.LinkStats) {
+		cfg := rc
+		cfg.Transport = tk
+		if chaos {
+			cfg.Batch = true
+			sc := cosim.UniformScenario(20260806, cosim.FaultProfile{
+				Drop: 0.01, Duplicate: 0.01, Reorder: 0.015, Corrupt: 0.01,
+			})
+			cfg.Chaos = &sc
+			rcfg := cosim.DefaultSessionConfig()
+			rcfg.RetransmitTimeout = 10 * time.Millisecond
+			cfg.Resilience = &rcfg
+		}
+		res, err := router.RunCoSim(cfg)
+		if err != nil {
+			t.Fatalf("%v chaos=%v: %v", tk, chaos, err)
+		}
+		if res.Conservation != nil {
+			t.Fatalf("%v chaos=%v: %v", tk, chaos, res.Conservation)
+		}
+		return outcome{r: res.Router, cycles: res.BoardCycles, ticks: res.BoardSWTicks}, res.Link.Link
+	}
+
+	clean, _ := run(router.TransportInProc, false)
+	kinds := []router.TransportKind{router.TransportUDS}
+	if cosim.ShmSupported() {
+		kinds = append(kinds, router.TransportShm)
+	}
+	for _, tk := range kinds {
+		dirty, link := run(tk, true)
+		if clean != dirty {
+			t.Errorf("%v: batch+session over chaos changed the result:\nclean %+v\ndirty %+v", tk, clean, dirty)
+		}
+		if link.FramesInjured == 0 {
+			t.Errorf("%v: chaos injected nothing: %+v", tk, link)
+		}
+		if link.Retransmits == 0 {
+			t.Errorf("%v: session repaired nothing despite %d injuries: %+v", tk, link.FramesInjured, link)
+		}
+	}
+}
+
 // TestCoSimChaosSoakDeterminism is the resilience property: a long
 // co-simulation whose link is injured by seeded chaos (drops, duplicates,
 // reordering, corruption) but protected by the session layer produces a

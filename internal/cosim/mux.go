@@ -45,8 +45,17 @@ type MuxListener struct {
 
 // ListenMux starts a multiplexing listener on addr (e.g. "127.0.0.1:0")
 // and begins accepting connections immediately.
-func ListenMux(addr string) (*MuxListener, error) {
-	ln, err := net.Listen("tcp", addr)
+func ListenMux(addr string) (*MuxListener, error) { return ListenMuxNet("tcp", addr) }
+
+// ListenMuxUDS is ListenMux over a Unix-domain socket at path. The
+// attach handshake is byte-identical, so DialSession("unix", ...) works
+// unchanged against it.
+func ListenMuxUDS(path string) (*MuxListener, error) { return ListenMuxNet("unix", path) }
+
+// ListenMuxNet starts a multiplexing listener on an arbitrary stream
+// network ("tcp", "unix").
+func ListenMuxNet(network, addr string) (*MuxListener, error) {
+	ln, err := net.Listen(network, addr)
 	if err != nil {
 		return nil, err
 	}
@@ -55,8 +64,12 @@ func ListenMux(addr string) (*MuxListener, error) {
 	return l, nil
 }
 
-// Addr returns the bound address (useful with port 0).
+// Addr returns the bound address (a host:port for TCP — useful with
+// port 0 — or the socket path for UDS).
 func (l *MuxListener) Addr() string { return l.ln.Addr().String() }
+
+// Network returns the listener's network ("tcp", "unix").
+func (l *MuxListener) Network() string { return l.ln.Addr().Network() }
 
 // Rejected returns the number of connections refused so far (unknown
 // session ID, duplicate channel, bad handshake) — an observability hook
@@ -299,6 +312,17 @@ func (p *PendingSession) Cancel() {
 // session ID closes the connection instead, surfaced here as
 // ErrSessionRejected.
 func DialTCPSession(addr string, sessionID uint64) (Transport, error) {
+	return DialSession("tcp", addr, sessionID)
+}
+
+// DialUDSSession is DialTCPSession over a Unix-domain socket path.
+func DialUDSSession(path string, sessionID uint64) (Transport, error) {
+	return DialSession("unix", path, sessionID)
+}
+
+// DialSession attaches all three channels to sessionID over an arbitrary
+// stream network ("tcp", "unix"); see DialTCPSession.
+func DialSession(network, addr string, sessionID uint64) (Transport, error) {
 	var conns [numChannels]net.Conn
 	closeAll := func() {
 		for _, c := range conns {
@@ -308,7 +332,7 @@ func DialTCPSession(addr string, sessionID uint64) (Transport, error) {
 		}
 	}
 	for ch := Channel(0); ch < numChannels; ch++ {
-		c, err := net.Dial("tcp", addr)
+		c, err := net.Dial(network, addr)
 		if err != nil {
 			closeAll()
 			return nil, err
@@ -349,5 +373,11 @@ func DialTCPSession(addr string, sessionID uint64) (Transport, error) {
 // the board side of a farm session: each call re-dials the mux listener
 // and re-attaches to the same session ID.
 func SessionRedialer(addr string, sessionID uint64) func() (Transport, error) {
-	return func() (Transport, error) { return DialTCPSession(addr, sessionID) }
+	return SessionRedialerNet("tcp", addr, sessionID)
+}
+
+// SessionRedialerNet is SessionRedialer over an arbitrary stream network
+// ("tcp", "unix").
+func SessionRedialerNet(network, addr string, sessionID uint64) func() (Transport, error) {
+	return func() (Transport, error) { return DialSession(network, addr, sessionID) }
 }

@@ -120,14 +120,25 @@ type pendingEnv struct {
 
 type sessionSendState struct {
 	nextSeq uint64
+	// maxSent is the highest envelope sequence the write loop has put on
+	// the inner transport (mu-guarded). Envelopes above it are still in
+	// the outbox: the nack and RTO paths must not snapshot-retransmit
+	// them — a snapshot overtaking its unsent original lets the peer ack
+	// the sequence and recycle the original's body while that original
+	// still awaits encoding in the outbox, an aliasing race. (The redial
+	// replay is exempt: the down write loop drops dequeued originals
+	// unencoded, so the replay copy is the only one that reaches a wire.)
+	maxSent uint64
 	unacked []pendingEnv
 	// bodyFree recycles envelope body buffers (mu-guarded, like unacked).
 	// A body is taken at Send, lives in unacked while retransmittable, and
 	// returns here when the cumulative ack prunes its envelope. The first
 	// transmission may alias the buffer (outbox, in-process peer), but the
 	// ack that triggers recycling can only arrive after the peer has
-	// finished reading it, so reuse cannot race those readers; retransmit
-	// paths snapshot their own copies (see queueRetransmit callers).
+	// finished reading it — and after the write loop finished encoding it,
+	// since only sent-once envelopes are ever retransmitted (maxSent) — so
+	// reuse cannot race those readers; retransmit paths snapshot their own
+	// copies (see queueRetransmit callers).
 	bodyFree [][]byte
 }
 
@@ -354,12 +365,24 @@ func (s *SessionTransport) writeLoop(ch Channel) {
 		if down {
 			continue // envelopes sit in unacked and are replayed on reconnect
 		}
+		isEnv, seq := m.Type == MTSessionData, m.Seq
 		if err := inner.Send(ch, m); err != nil {
 			if s.cfg.Redial == nil {
 				s.fail(err)
 				return
 			}
 			s.notifyFail(gen, err)
+		} else if isEnv {
+			// Record the wire high-water mark so the nack/RTO paths know
+			// which envelopes have actually been sent once (see
+			// sessionSendState.maxSent). Read m's fields before the send:
+			// a base transport releases pooled payloads, and the peer may
+			// ack the instant the frame is published.
+			s.mu.Lock()
+			if st := &s.send[ch]; seq > st.maxSent {
+				st.maxSent = seq
+			}
+			s.mu.Unlock()
 		}
 	}
 }
@@ -505,6 +528,12 @@ func (s *SessionTransport) handleNack(ch Channel, from uint64) {
 	now := time.Now() //cosim:wallclock -- RTO clock: retransmission timing is host-side link recovery
 	var resend []Msg
 	for i := range st.unacked {
+		if st.unacked[i].env.Seq > st.maxSent {
+			// Not yet on the wire: the original is still queued in the
+			// outbox and will arrive in order; a snapshot here could
+			// overtake it and let an ack recycle its live body.
+			break
+		}
 		if st.unacked[i].env.Seq >= from {
 			st.unacked[i].sentAt = now
 			env := st.unacked[i].env
@@ -553,6 +582,9 @@ func (s *SessionTransport) rtoLoop() {
 			var resend []Msg
 			if len(st.unacked) > 0 && now.Sub(st.unacked[0].sentAt) >= s.cfg.RetransmitTimeout {
 				for i := range st.unacked {
+					if st.unacked[i].env.Seq > st.maxSent {
+						break // still in the outbox; see handleNack
+					}
 					st.unacked[i].sentAt = now
 					env := st.unacked[i].env
 					env.Raw = append([]byte(nil), env.Raw...) // see handleNack

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package cosim
+
+import "os"
+
+// shmMapSupported gates the shared-memory constructors: without mmap the
+// shm transport cannot exist, and every constructor returns
+// ErrShmUnsupported so callers fall back to UDS or TCP cleanly.
+const shmMapSupported = false
+
+// shmMapFile is the unsupported-platform stub.
+func shmMapFile(_ *os.File, _ int) ([]byte, func() error, error) {
+	return nil, nil, ErrShmUnsupported
+}

@@ -1,0 +1,23 @@
+//go:build unix
+
+package cosim
+
+import (
+	"os"
+	"syscall"
+)
+
+// shmMapSupported gates the shared-memory constructors; see
+// shm_map_stub.go for the fallback.
+const shmMapSupported = true
+
+// shmMapFile maps size bytes of f shared and read-write, returning the
+// segment and its unmapper.
+func shmMapFile(f *os.File, size int) ([]byte, func() error, error) {
+	seg, err := syscall.Mmap(int(f.Fd()), 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return seg, func() error { return syscall.Munmap(seg) }, nil
+}

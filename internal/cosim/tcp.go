@@ -136,23 +136,39 @@ func (t *tcpTransport) Close() error {
 }
 
 // Listener accepts the three channel connections of one co-simulation
-// session on the hardware-simulator side.
+// session on the hardware-simulator side. It is network-agnostic: the
+// same framing and handshake run over TCP ("tcp") and Unix-domain
+// sockets ("unix").
 type Listener struct {
 	ln net.Listener
 }
 
 // ListenTCP starts listening for a board connection. addr is a TCP address
 // such as "127.0.0.1:0".
-func ListenTCP(addr string) (*Listener, error) {
-	ln, err := net.Listen("tcp", addr)
+func ListenTCP(addr string) (*Listener, error) { return ListenNet("tcp", addr) }
+
+// ListenUDS starts listening for a board connection on a Unix-domain
+// socket at path. The socket file is created by the listener and removed
+// by its Close; the wire protocol is byte-identical to the TCP one, so
+// every layer above (session, batch, mux attach) works unchanged.
+func ListenUDS(path string) (*Listener, error) { return ListenNet("unix", path) }
+
+// ListenNet starts a listener on an arbitrary stream network ("tcp",
+// "unix").
+func ListenNet(network, addr string) (*Listener, error) {
+	ln, err := net.Listen(network, addr)
 	if err != nil {
 		return nil, err
 	}
 	return &Listener{ln: ln}, nil
 }
 
-// Addr returns the bound address (useful with port 0).
+// Addr returns the bound address (a host:port for TCP — useful with
+// port 0 — or the socket path for UDS).
 func (l *Listener) Addr() string { return l.ln.Addr().String() }
+
+// Network returns the listener's network ("tcp", "unix").
+func (l *Listener) Network() string { return l.ln.Addr().Network() }
 
 // Accept waits for the board to open all three channels and returns the
 // assembled transport. The first byte on each accepted connection selects
@@ -211,12 +227,25 @@ func Redialer(addr string) func() (Transport, error) {
 	return func() (Transport, error) { return DialTCP(addr) }
 }
 
+// UDSRedialer is Redialer over a Unix-domain socket path.
+func UDSRedialer(path string) func() (Transport, error) {
+	return func() (Transport, error) { return DialUDS(path) }
+}
+
 // DialTCP connects the board side to a listening simulator, opening the
 // three channel connections and performing the hello handshake.
-func DialTCP(addr string) (Transport, error) {
+func DialTCP(addr string) (Transport, error) { return DialNet("tcp", addr) }
+
+// DialUDS is DialTCP over a Unix-domain socket path.
+func DialUDS(path string) (Transport, error) { return DialNet("unix", path) }
+
+// DialNet connects the board side over an arbitrary stream network
+// ("tcp", "unix"), opening the three channel connections and performing
+// the hello handshake.
+func DialNet(network, addr string) (Transport, error) {
 	var conns [numChannels]net.Conn
 	for ch := Channel(0); ch < numChannels; ch++ {
-		c, err := net.Dial("tcp", addr)
+		c, err := net.Dial(network, addr)
 		if err != nil {
 			for i := Channel(0); i < ch; i++ {
 				conns[i].Close()

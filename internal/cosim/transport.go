@@ -91,6 +91,37 @@ type Unwrapper interface {
 	Unwrap() Transport
 }
 
+// BaseTransportName walks tr's wrapper chain to its base transport and
+// names it: "inproc", "tcp", "unix", or "shm" ("unknown" for a base this
+// package did not build). Results describe the link actually carrying
+// frames, so callers reporting a transport kind — the router's RunResult,
+// the farm's metrics — cannot drift from the configuration that built
+// the stack.
+func BaseTransportName(tr Transport) string {
+	for {
+		u, ok := tr.(Unwrapper)
+		if !ok {
+			break
+		}
+		tr = u.Unwrap()
+	}
+	switch t := tr.(type) {
+	case *inprocTransport:
+		return "inproc"
+	case *tcpTransport:
+		for _, c := range t.conns {
+			if c != nil {
+				return c.LocalAddr().Network()
+			}
+		}
+		return "tcp"
+	case *ShmTransport:
+		return "shm"
+	default:
+		return "unknown"
+	}
+}
+
 // chanPair is one direction of an in-process link.
 type chanPair struct {
 	ch [numChannels]chan Msg

@@ -16,6 +16,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,9 +48,16 @@ type Config struct {
 	// QueueDepth bounds the number of accepted-but-not-yet-running
 	// sessions; a full queue pushes back on submitters.
 	QueueDepth int
-	// ListenAddr is the multiplexing TCP listener's address, the front
-	// door every TCP session's board dials (default "127.0.0.1:0").
+	// ListenAddr is the multiplexing listener's address, the front door
+	// every socket session's board dials (default "127.0.0.1:0" over
+	// "tcp"; a filesystem path when ListenNetwork is "unix").
 	ListenAddr string
+	// ListenNetwork selects the front door's stream network: "tcp"
+	// (default) or "unix". Sessions submitted with
+	// router.TransportUDS rendezvous over a unix front door exactly as
+	// TCP ones do over a tcp front door; the mux attach handshake is
+	// byte-identical.
+	ListenNetwork string
 	// Obs, when non-nil, receives the farm's aggregate metrics and each
 	// session's endpoint metrics (see docs/OBSERVABILITY.md).
 	Obs *obs.Registry
@@ -66,7 +75,10 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 2 * c.Workers
 	}
-	if c.ListenAddr == "" {
+	if c.ListenNetwork == "" {
+		c.ListenNetwork = "tcp"
+	}
+	if c.ListenAddr == "" && c.ListenNetwork == "tcp" {
 		c.ListenAddr = "127.0.0.1:0"
 	}
 	return c
@@ -155,6 +167,9 @@ func (s *Session) finish(res router.RunResult, err error) {
 type Farm struct {
 	cfg Config
 	ln  *cosim.MuxListener
+	// sockDir, when non-empty, is a farm-owned temp directory holding the
+	// unix front-door socket; Close removes it.
+	sockDir string
 
 	ctx    context.Context
 	cancel context.CancelCauseFunc
@@ -186,14 +201,27 @@ type Farm struct {
 // immediately. Call Close (or Drain, then Close) when done with it.
 func New(cfg Config) (*Farm, error) {
 	cfg = cfg.withDefaults()
-	ln, err := cosim.ListenMux(cfg.ListenAddr)
+	var sockDir string
+	if cfg.ListenNetwork == "unix" && cfg.ListenAddr == "" {
+		dir, err := os.MkdirTemp("", "cosim-farm-*")
+		if err != nil {
+			return nil, fmt.Errorf("farm: socket dir: %w", err)
+		}
+		sockDir = dir
+		cfg.ListenAddr = filepath.Join(dir, "s")
+	}
+	ln, err := cosim.ListenMuxNet(cfg.ListenNetwork, cfg.ListenAddr)
 	if err != nil {
+		if sockDir != "" {
+			os.RemoveAll(sockDir)
+		}
 		return nil, fmt.Errorf("farm: listen: %w", err)
 	}
 	ctx, cancel := context.WithCancelCause(context.Background())
 	f := &Farm{
 		cfg:     cfg,
 		ln:      ln,
+		sockDir: sockDir,
 		ctx:     ctx,
 		cancel:  cancel,
 		queue:   make(chan *Session, cfg.QueueDepth),
@@ -366,7 +394,11 @@ func (f *Farm) Close() error {
 			f.failed.Add(1)
 			f.sessWG.Done()
 		default:
-			return f.ln.Close()
+			err := f.ln.Close()
+			if f.sockDir != "" {
+				os.RemoveAll(f.sockDir)
+			}
+			return err
 		}
 	}
 }
@@ -428,11 +460,12 @@ func (f *Farm) runSession(s *Session) {
 func (f *Farm) execute(s *Session) (router.RunResult, error) {
 	var hwB, boardB cosim.Transport
 	switch s.cfg.Transport {
-	case router.TransportTCP:
+	case router.TransportTCP, router.TransportUDS:
 		// The hw side registers the session ID on the shared listener
 		// first, then the board dials in and is routed back to it — the
 		// same rendezvous an external board would perform against
-		// cmd/cosim-farm.
+		// cmd/cosim-farm. The front door's network (tcp or unix) decides
+		// what actually carries the frames; the handshake is identical.
 		pend, err := f.ln.Expect(s.id)
 		if err != nil {
 			return router.RunResult{}, err
@@ -443,7 +476,7 @@ func (f *Farm) execute(s *Session) (router.RunResult, error) {
 		}
 		dc := make(chan dialed, 1)
 		go func() {
-			tr, derr := cosim.DialTCPSession(f.ln.Addr(), s.id)
+			tr, derr := cosim.DialSession(f.ln.Network(), f.ln.Addr(), s.id)
 			dc <- dialed{tr, derr}
 		}()
 		hwB, err = pend.Accept(s.ctx)
@@ -459,6 +492,12 @@ func (f *Farm) execute(s *Session) (router.RunResult, error) {
 			return router.RunResult{}, d.err
 		}
 		boardB = d.tr
+	case router.TransportShm:
+		var err error
+		hwB, boardB, err = cosim.NewShmPair(cosim.ShmConfig{})
+		if err != nil {
+			return router.RunResult{}, err
+		}
 	default:
 		hwB, boardB = cosim.NewInProcPair(4096)
 	}

@@ -1,0 +1,98 @@
+package farm
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/cosim"
+	"repro/internal/router"
+)
+
+// TestFarmUnixFrontDoor runs a farm whose mux front door is a
+// Unix-domain socket: UDS sessions rendezvous over it exactly as TCP
+// sessions do over a tcp listener, with bit-identical virtual time.
+func TestFarmUnixFrontDoor(t *testing.T) {
+	const n = 4
+	cfgs := make([]router.RunConfig, n)
+	want := make([]outcome, n)
+	for i := range cfgs {
+		rc := quickConfig(i)
+		rc.Transport = router.TransportUDS
+		cfgs[i] = rc
+		res, err := router.RunCoSim(rc)
+		if err != nil {
+			t.Fatalf("solo run %d: %v", i, err)
+		}
+		want[i] = fingerprint(res)
+	}
+
+	f, err := New(Config{Workers: 2, QueueDepth: n, ListenNetwork: "unix"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	sessions := make([]*Session, n)
+	for i, rc := range cfgs {
+		s, err := f.Submit(ctx, rc)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		sessions[i] = s
+	}
+	for i, s := range sessions {
+		res, err := s.Wait(ctx)
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		if got := fingerprint(res); got != want[i] {
+			t.Errorf("session %d diverged from solo run:\nfarm %+v\nsolo %+v", i, got, want[i])
+		}
+		if res.TransportKind != router.TransportUDS {
+			t.Errorf("session %d TransportKind = %v, want uds", i, res.TransportKind)
+		}
+	}
+}
+
+// TestFarmShmSessions runs shared-memory sessions through the worker
+// pool; each session gets its own private ring pair, no front door
+// involved.
+func TestFarmShmSessions(t *testing.T) {
+	if !cosim.ShmSupported() {
+		t.Skip("shm transport unsupported on this platform")
+	}
+	const n = 4
+	f, err := New(Config{Workers: 2, QueueDepth: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for i := 0; i < n; i++ {
+		rc := quickConfig(i)
+		rc.Transport = router.TransportShm
+		want, err := router.RunCoSim(rc)
+		if err != nil {
+			t.Fatalf("solo run %d: %v", i, err)
+		}
+		s, err := f.Submit(ctx, rc)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		res, err := s.Wait(ctx)
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		if fingerprint(res) != fingerprint(want) {
+			t.Errorf("session %d diverged from solo run:\nfarm %+v\nsolo %+v", i, fingerprint(res), fingerprint(want))
+		}
+		if res.TransportKind != router.TransportShm {
+			t.Errorf("session %d TransportKind = %v, want shm", i, res.TransportKind)
+		}
+	}
+}

@@ -1,10 +1,13 @@
 package router
 
 import (
+	"errors"
 	"fmt"
+	"net"
 
 	"repro/internal/board"
 	"repro/internal/checksum"
+	"repro/internal/cosim"
 	"repro/internal/iss"
 	"repro/internal/packet"
 	"repro/internal/rtos"
@@ -180,6 +183,14 @@ func (a *BoardApp) serve(c *rtos.ThreadCtx) {
 		// keep the slice in flight across quanta, so a reused scratch here
 		// would alias live wire data.
 		if _, err := a.dev.Write(c, RegVerdictBase, []uint32{seq, verdict}); err != nil {
+			// A closed transport here is not a bug: cancellation or peer
+			// shutdown tears the link down while the board may still be
+			// mid-quantum with a verdict in hand. Exit the thread and let
+			// the run's own error (context cause, link teardown) surface;
+			// any other write failure is still fatal.
+			if errors.Is(err, cosim.ErrClosed) || errors.Is(err, net.ErrClosed) {
+				return
+			}
 			panic(fmt.Sprintf("router: verdict write failed: %v", err))
 		}
 		if a.wd != nil {

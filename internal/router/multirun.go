@@ -26,7 +26,11 @@ func RunCoSimMulti(rc RunConfig, boards int) (MultiRunResult, error) {
 	if boards < 1 {
 		return MultiRunResult{}, fmt.Errorf("router: need at least one board")
 	}
-	res := MultiRunResult{RunResult: RunResult{TSync: rc.TSync, TransportKind: rc.Transport, Mode: rc.Mode}}
+	// The multi-board rig always wires its links with NewInProcPair (see
+	// the doc comment), so the result says so — echoing rc.Transport here
+	// used to mislabel these runs whenever a caller left a TCP default in
+	// the config.
+	res := MultiRunResult{RunResult: RunResult{TSync: rc.TSync, TransportKind: TransportInProc, Mode: rc.Mode}}
 	rc.TB.Engines = boards
 	tb := BuildTestbench(rc.TB)
 

@@ -119,6 +119,18 @@ func Run(ctx context.Context, tr Transports, opts ...Option) (RunResult, error) 
 			if err != nil {
 				return res, err
 			}
+		case TransportUDS:
+			var err error
+			tr.HW, tr.Board, err = dialSelfUDS()
+			if err != nil {
+				return res, err
+			}
+		case TransportShm:
+			var err error
+			tr.HW, tr.Board, err = cosim.NewShmPair(cosim.ShmConfig{})
+			if err != nil {
+				return res, err
+			}
 		default:
 			tr.HW, tr.Board = cosim.NewInProcPair(4096)
 		}

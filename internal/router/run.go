@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/board"
@@ -27,14 +29,46 @@ const (
 	// TransportTCP uses real sockets over loopback, as in the paper's
 	// host↔board setup.
 	TransportTCP
+	// TransportUDS uses a Unix-domain socket with the same framing and
+	// handshake as TCP: cross-process on one host without the TCP/IP
+	// stack. Unsupported on platforms without unix sockets.
+	TransportUDS
+	// TransportShm uses a lock-free shared-memory ring pair over an
+	// mmap'd file (see cosim.ShmTransport): the zero-copy local path.
+	// Unsupported where mmap is unavailable (probe cosim.ShmSupported).
+	TransportShm
 )
 
 // String implements fmt.Stringer.
 func (t TransportKind) String() string {
-	if t == TransportTCP {
+	switch t {
+	case TransportTCP:
 		return "tcp"
+	case TransportUDS:
+		return "uds"
+	case TransportShm:
+		return "shm"
+	default:
+		return "inproc"
 	}
-	return "inproc"
+}
+
+// baseTransportKind maps a base transport (walked through the wrapper
+// chain) back to its TransportKind, so results report the link actually
+// carrying frames rather than a configuration default.
+func baseTransportKind(tr cosim.Transport) (TransportKind, bool) {
+	switch cosim.BaseTransportName(tr) {
+	case "inproc":
+		return TransportInProc, true
+	case "tcp":
+		return TransportTCP, true
+	case "unix":
+		return TransportUDS, true
+	case "shm":
+		return TransportShm, true
+	default:
+		return 0, false
+	}
 }
 
 // RunConfig configures one full co-simulation of the router testbench.
@@ -165,7 +199,11 @@ func (rc RunConfig) Validate() error {
 		return fmt.Errorf("router: invalid RunConfig: cycle budget %d × CyclesPerGrantTick %d overflows the board's cycle accounting; lower TSync/MaxCycles or CyclesPerGrantTick", rc.budget(), cpt)
 	}
 	switch rc.Transport {
-	case TransportInProc, TransportTCP:
+	case TransportInProc, TransportTCP, TransportUDS:
+	case TransportShm:
+		if !cosim.ShmSupported() {
+			return fmt.Errorf("router: invalid RunConfig: TransportShm is unsupported on this platform (no mmap); use TransportUDS or TransportTCP")
+		}
 	default:
 		return fmt.Errorf("router: invalid RunConfig: unknown TransportKind %d", rc.Transport)
 	}
@@ -187,6 +225,27 @@ func dialSelf() (hwT, boardT cosim.Transport, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	return acceptAndDial(ln)
+}
+
+// dialSelfUDS is dialSelf over a private Unix-domain socket in a fresh
+// temp directory; the socket file is removed once both sides connected.
+func dialSelfUDS() (hwT, boardT cosim.Transport, err error) {
+	dir, err := os.MkdirTemp("", "cosim-uds-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer os.RemoveAll(dir)
+	ln, err := cosim.ListenUDS(filepath.Join(dir, "s"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return acceptAndDial(ln)
+}
+
+// acceptAndDial completes a self-dialed link over an open listener, which
+// it always closes before returning.
+func acceptAndDial(ln *cosim.Listener) (hwT, boardT cosim.Transport, err error) {
 	defer ln.Close()
 	type accepted struct {
 		tr  cosim.Transport
@@ -197,7 +256,7 @@ func dialSelf() (hwT, boardT cosim.Transport, err error) {
 		tr, aerr := ln.Accept()
 		acc <- accepted{tr, aerr}
 	}()
-	boardT, err = cosim.DialTCP(ln.Addr())
+	boardT, err = cosim.DialNet(ln.Network(), ln.Addr())
 	if err != nil {
 		// The accept may still have succeeded (e.g. the dial failed on
 		// a later channel): unblock it, join it, and close its result.
@@ -244,6 +303,12 @@ func RunOnTransports(rc RunConfig, hwBase, boardBase cosim.Transport) (RunResult
 // both sides; the context's cause becomes the returned error.
 func runOnTransports(ctx context.Context, rc RunConfig, hwBase, boardBase cosim.Transport) (result RunResult, err error) {
 	res := RunResult{TSync: rc.TSync, TransportKind: rc.Transport, Mode: rc.Mode}
+	// Report the transport actually carrying frames, not the configured
+	// default: caller-provided transports (a farm mux link, a test's
+	// in-process pair) may differ from rc.Transport.
+	if k, ok := baseTransportKind(hwBase); ok {
+		res.TransportKind = k
+	}
 	if err := rc.Validate(); err != nil {
 		hwBase.Close()
 		boardBase.Close()
