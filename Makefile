@@ -17,7 +17,7 @@ SHM_SPEEDUP ?= Transport/Fig5/N=20/tcp:Transport/Fig5/N=20/shm:3
 STATICCHECK_MOD := honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK_MOD := golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: all vet build test race fuzz-smoke farm-soak transport-matrix bench-json bench-gate bench-adaptive staticcheck govulncheck cosim-lint lint lint-fix-check ci
+.PHONY: all vet build test race fuzz-smoke farm-soak transport-matrix federation-matrix shm-smoke bench-json bench-gate bench-adaptive staticcheck govulncheck cosim-lint lint lint-fix-check ci
 
 all: build
 
@@ -54,13 +54,29 @@ transport-matrix:
 	$(GO) test -race -run 'TransportMatrix|TestCoSimEndToEnd|ReportedKind|MultiRunReports' . ./internal/router/
 	$(GO) test -race -run 'Shm|UDS' ./internal/cosim/ ./internal/farm/
 
+# federation-matrix proves the N-party hierarchical time manager: K=2
+# federations bit-identical to the pairwise engine (same sync/elision
+# counts) across every transport, multi-board and pulse-device
+# topologies deterministic, and the manager's lookahead edge cases —
+# all under the race detector.
+federation-matrix:
+	$(GO) test -race -run 'TestFederation|TestRunDispatchesFederation|TestMultiBoard' ./internal/router/
+	$(GO) test -race -run 'TestFarmRunsFederatedSessions' ./internal/farm/
+	$(GO) test -race ./internal/cosim/federation/
+
+# shm-smoke launches cosim-hw and cosim-board as two real processes
+# joined by a -shm-path link file — the cross-process rendezvous of
+# CreateShm/OpenShm that in-process tests cannot cover.
+shm-smoke:
+	./scripts/shm_smoke.sh
+
 # bench-json regenerates the miniature Fig.5/6/7 evaluation and writes
 # the machine-readable BENCH_cosim.json artifact CI gates against.
 bench-json:
 	$(GO) run ./cmd/cosim-bench -runs $(BENCH_RUNS) -v -out BENCH_cosim.json
 
-# bench-gate fails when any Fig.5, Farm, Adaptive, or Transport
-# benchmark regressed >25% vs the committed baseline — in wall clock
+# bench-gate fails when any Fig.5, Farm, Adaptive, Transport, or
+# Federation benchmark regressed >25% vs the committed baseline — in wall clock
 # (ns_per_op) or in steady-state allocation rate (allocs_per_quantum) —
 # or when the shm transport no longer clears its speedup floor over tcp
 # on the fresh run. Skips cleanly when no baseline is committed.

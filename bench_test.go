@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -24,7 +25,7 @@ func benchRun(b *testing.B, n int, tsync uint64, mutate func(*router.RunConfig))
 	if mutate != nil {
 		mutate(&rc)
 	}
-	res, err := router.RunCoSim(rc)
+	res, err := router.Run(context.Background(), router.Transports{}, router.WithConfig(rc))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func BenchmarkAblationMultiBoard(b *testing.B) {
 	b.Run("boards=1", func(b *testing.B) {
 		var acc float64
 		for i := 0; i < b.N; i++ {
-			res, err := router.RunCoSim(mkCfg())
+			res, err := router.Run(context.Background(), router.Transports{}, router.WithConfig(mkCfg()))
 			if err != nil {
 				b.Fatal(err)
 			}

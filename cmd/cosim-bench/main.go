@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -66,7 +67,7 @@ func cosimBench(name string, n int, tsync uint64, mutate func(*router.RunConfig)
 		if mutate != nil {
 			mutate(&rc)
 		}
-		res, err := router.RunCoSim(rc)
+		res, err := router.Run(context.Background(), router.Transports{}, router.WithConfig(rc))
 		if err != nil {
 			return res, err
 		}
@@ -145,6 +146,21 @@ func benches() []bench {
 				rc.TB.Period = 10000
 			}))
 	}
+	// Federation family: the same miniature workload driven by the
+	// hierarchical time manager instead of the pairwise driver loop.
+	// K=2 measures the manager's overhead on a topology the pairwise
+	// engine could also run (it must stay bit-identical, so the delta is
+	// pure scheduling cost); Boards=2 and Pulse=2 track the genuinely
+	// N-party schedules the old loop could not express.
+	out = append(out, cosimBench("Federation/K=2", 200, 1000, func(rc *router.RunConfig) {
+		rc.Federation = &router.FederationConfig{Boards: 1}
+	}))
+	out = append(out, cosimBench("Federation/Boards=2", 200, 1000, func(rc *router.RunConfig) {
+		rc.Federation = &router.FederationConfig{Boards: 2}
+	}))
+	out = append(out, cosimBench("Federation/Pulse=2", 200, 1000, func(rc *router.RunConfig) {
+		rc.Federation = &router.FederationConfig{Boards: 1, PulseDevices: 2}
+	}))
 	// Chaos point: a faulty link healed by the session layer; the
 	// retransmit count is the tracked quantity.
 	out = append(out, cosimBench("Chaos/session", 40, 1000, func(rc *router.RunConfig) {

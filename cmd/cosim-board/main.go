@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/board"
 	"repro/internal/cosim"
@@ -17,8 +18,23 @@ import (
 	"repro/internal/router"
 )
 
+// openShmRetry attaches to the shared-memory link file, tolerating both
+// a not-yet-created file (cosim-hw still starting) and the brief window
+// where the file exists but the segment header is not yet stamped.
+func openShmRetry(path string, patience time.Duration) (cosim.Transport, error) {
+	var err error
+	for end := time.Now().Add(patience); time.Now().Before(end); time.Sleep(20 * time.Millisecond) {
+		var tr cosim.Transport
+		if tr, err = cosim.OpenShm(path); err == nil {
+			return tr, nil
+		}
+	}
+	return nil, err
+}
+
 func main() {
 	connect := flag.String("connect", "127.0.0.1:9000", "simulator address")
+	shmPath := flag.String("shm-path", "", "attach to the shared-memory link file created by cosim-hw -shm-path instead of dialing TCP")
 	annotated := flag.Bool("annotated", false, "use analytic software timing instead of the ISS")
 	watchdog := flag.Uint64("watchdog", 0, "install a watchdog with this timeout in HW ticks (0 = none)")
 	tracePath := flag.String("trace", "", "write a protocol trace to this file")
@@ -48,10 +64,19 @@ func main() {
 		os.Exit(1)
 	}
 
-	tr, err := cosim.DialTCP(*connect)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cosim-board: dial %s: %v\n", *connect, err)
-		os.Exit(1)
+	var tr cosim.Transport
+	if *shmPath != "" {
+		tr, err = openShmRetry(*shmPath, 10*time.Second)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cosim-board: shm %s: %v\n", *shmPath, err)
+			os.Exit(1)
+		}
+	} else {
+		tr, err = cosim.DialTCP(*connect)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cosim-board: dial %s: %v\n", *connect, err)
+			os.Exit(1)
+		}
 	}
 	defer tr.Close()
 	if *tracePath != "" {

@@ -20,6 +20,7 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "TCP address to listen on")
+	shmPath := flag.String("shm-path", "", "create a shared-memory link file at this path and serve the board through it instead of TCP")
 	tsync := flag.Uint64("tsync", 1000, "synchronization interval in clock cycles")
 	n := flag.Int("n", 100, "total packets to exchange (spread over 4 producers)")
 	period := flag.Uint64("period", 1250, "per-producer packet period in cycles")
@@ -51,17 +52,29 @@ func main() {
 	tbc.Seed = *seed
 	tb := router.BuildTestbench(tbc)
 
-	ln, err := cosim.ListenTCP(*listen)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cosim-hw: %v\n", err)
-		os.Exit(1)
-	}
-	defer ln.Close()
-	fmt.Printf("cosim-hw: listening on %s (DATA/INT/CLOCK channels); waiting for board...\n", ln.Addr())
-	tr, err := ln.Accept()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cosim-hw: accept: %v\n", err)
-		os.Exit(1)
+	var tr cosim.Transport
+	if *shmPath != "" {
+		t, err := cosim.CreateShm(*shmPath, cosim.ShmConfig{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cosim-hw: %v\n", err)
+			os.Exit(1)
+		}
+		defer os.Remove(*shmPath)
+		tr = t
+		fmt.Printf("cosim-hw: shm link ready at %s; waiting for board...\n", *shmPath)
+	} else {
+		ln, err := cosim.ListenTCP(*listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cosim-hw: %v\n", err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		fmt.Printf("cosim-hw: listening on %s (DATA/INT/CLOCK channels); waiting for board...\n", ln.Addr())
+		tr, err = ln.Accept()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cosim-hw: accept: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	defer tr.Close()
 	if *tracePath != "" {
@@ -73,7 +86,11 @@ func main() {
 		defer f.Close()
 		tr = cosim.NewTraceTransport(tr, f)
 	}
-	fmt.Println("cosim-hw: board connected; starting driver_simulate")
+	if *shmPath != "" {
+		fmt.Println("cosim-hw: starting driver_simulate (board attaches via shm)")
+	} else {
+		fmt.Println("cosim-hw: board connected; starting driver_simulate")
+	}
 
 	mode := cosim.SyncAlternating
 	if *pipelined {

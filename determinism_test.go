@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -40,7 +41,7 @@ func TestCoSimDeterminismProperty(t *testing.T) {
 		run := func(tr router.TransportKind) outcome {
 			cfg := rc
 			cfg.Transport = tr
-			res, err := router.RunCoSim(cfg)
+			res, err := router.Run(context.Background(), router.Transports{}, router.WithConfig(cfg))
 			if err != nil {
 				t.Fatalf("trial %d (%+v): %v", trial, rc.TB, err)
 			}
@@ -102,7 +103,7 @@ func TestTransportMatrixDeterminism(t *testing.T) {
 		for i, tk := range kinds {
 			cfg := rc
 			cfg.Transport = tk
-			res, err := router.RunCoSim(cfg)
+			res, err := router.Run(context.Background(), router.Transports{}, router.WithConfig(cfg))
 			if err != nil {
 				t.Fatalf("trial %d over %v: %v", trial, tk, err)
 			}
@@ -154,7 +155,7 @@ func TestTransportChaosSoakDeterminism(t *testing.T) {
 			rcfg.RetransmitTimeout = 10 * time.Millisecond
 			cfg.Resilience = &rcfg
 		}
-		res, err := router.RunCoSim(cfg)
+		res, err := router.Run(context.Background(), router.Transports{}, router.WithConfig(cfg))
 		if err != nil {
 			t.Fatalf("%v chaos=%v: %v", tk, chaos, err)
 		}
@@ -212,7 +213,7 @@ func TestCoSimChaosSoakDeterminism(t *testing.T) {
 			rcfg.RetransmitTimeout = 10 * time.Millisecond
 			cfg.Resilience = &rcfg
 		}
-		res, err := router.RunCoSim(cfg)
+		res, err := router.Run(context.Background(), router.Transports{}, router.WithConfig(cfg))
 		if err != nil {
 			t.Fatalf("chaos=%v: %v", withChaos, err)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -42,7 +43,7 @@ func main() {
 			rc.Transport = router.TransportTCP
 		}
 		rc.LinkDelay = *delay
-		res, err := router.RunCoSim(rc)
+		res, err := router.Run(context.Background(), router.Transports{}, router.WithConfig(rc))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -35,7 +36,7 @@ func main() {
 	fmt.Printf("workload: N=%d packets, Tsync=%d, verification cost ≈ %d cycles/packet\n\n",
 		*n, *tsync, *cost)
 
-	single, err := router.RunCoSim(base)
+	single, err := router.Run(context.Background(), router.Transports{}, router.WithConfig(base))
 	if err != nil {
 		log.Fatal(err)
 	}

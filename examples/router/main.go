@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -36,7 +37,7 @@ func main() {
 	}
 
 	// For the waveform we rebuild the testbench by hand so we can attach
-	// monitor signals before the run (RunCoSim hides the testbench).
+	// monitor signals before the run (router.Run hides the testbench).
 	tb := router.BuildTestbench(rc.TB)
 	fwd := hdlsim.NewSignal[uint32](tb.Sim, "forwarded")
 	for i, out := range tb.Router.Out {
@@ -63,7 +64,7 @@ func main() {
 		defer vw.Close()
 	}
 
-	res, err := router.RunCoSim(rc)
+	res, err := router.Run(context.Background(), router.Transports{}, router.WithConfig(rc))
 	if err != nil {
 		log.Fatal(err)
 	}

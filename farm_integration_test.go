@@ -89,14 +89,14 @@ func virtualTimeOf(res router.RunResult) virtualTime {
 // scraper polls /metrics and sees farm_active_sessions and
 // farm_sessions_completed_total move mid-run, and every session's
 // simulated-time results come out bit-identical to the equivalent solo
-// RunCoSim.
+// router.Run.
 func TestFarmAcceptance(t *testing.T) {
 	const sessions = 8
 
 	// Solo reference runs, one per config.
 	want := make([]virtualTime, sessions)
 	for i := range want {
-		res, err := router.RunCoSim(farmAcceptanceConfig(i))
+		res, err := router.Run(context.Background(), router.Transports{}, router.WithConfig(farmAcceptanceConfig(i)))
 		if err != nil {
 			t.Fatalf("solo run %d: %v", i, err)
 		}

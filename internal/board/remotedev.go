@@ -23,13 +23,25 @@ import (
 // on the kernel's interrupt controller by Board.applyGrant; the
 // application attaches its ISR/DSR pair with Kernel.AttachInterrupt as for
 // any physical device.
+// DevLink is the outbound half of the co-simulation link a RemoteDev
+// posts through: immediate posted writes and split-phase read requests.
+// *cosim.BoardEndpoint implements it for a wire-attached board; a
+// federated in-process board (see Federate) substitutes a local buffer
+// that the time manager exchanges at quantum boundaries.
+type DevLink interface {
+	PostWrite(addr uint32, words []uint32) error
+	PostReadReq(addr, count uint32) error
+}
+
+var _ DevLink = (*cosim.BoardEndpoint)(nil)
+
 type RemoteDev struct {
 	name string
 	base uint32
 	size uint32
 
 	b      *Board
-	ep     *cosim.BoardEndpoint
+	ep     DevLink
 	shadow []uint32
 
 	respQ [][]uint32 // completed split-phase reads, FIFO
@@ -41,7 +53,7 @@ type RemoteDev struct {
 // occupy [base, base+size) word addresses, registers it with the kernel,
 // and returns it. ep may be set later with Attach (the standalone board
 // binary connects after boot).
-func (b *Board) NewRemoteDev(name string, base, size uint32, ep *cosim.BoardEndpoint) (*RemoteDev, error) {
+func (b *Board) NewRemoteDev(name string, base, size uint32, ep DevLink) (*RemoteDev, error) {
 	for _, d := range b.devs {
 		if base < d.base+d.size && d.base < base+size {
 			return nil, fmt.Errorf("board: device %q overlaps %q", name, d.name)
@@ -55,8 +67,8 @@ func (b *Board) NewRemoteDev(name string, base, size uint32, ep *cosim.BoardEndp
 	return d, nil
 }
 
-// Attach connects the driver to the co-simulation endpoint.
-func (d *RemoteDev) Attach(ep *cosim.BoardEndpoint) { d.ep = ep }
+// Attach connects the driver to the co-simulation link.
+func (d *RemoteDev) Attach(ep DevLink) { d.ep = ep }
 
 // Name implements rtos.Driver.
 func (d *RemoteDev) Name() string { return d.name }

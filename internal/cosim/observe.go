@@ -98,18 +98,27 @@ func (l *live) addBytes(n uint64) {
 // Observe publishes the endpoint's hot-path counters and the CLOCK
 // rendezvous latency histogram into reg under side="hw". Call it before
 // the run starts; it is not safe to call concurrently with the run.
-func (ep *HWEndpoint) Observe(reg *obs.Registry) {
-	ep.lv = newLive(reg, "hw")
-	observeTransportStack(reg, ep.tr, "hw")
+func (ep *HWEndpoint) Observe(reg *obs.Registry) { ep.ObserveAs(reg, "hw") }
+
+// ObserveAs is Observe with an explicit side label — a federation
+// publishes each wire party's link under its federate name, so per-party
+// rendezvous latency and traffic counters stay distinguishable.
+func (ep *HWEndpoint) ObserveAs(reg *obs.Registry, side string) {
+	ep.lv = newLive(reg, side)
+	observeTransportStack(reg, ep.tr, side)
 }
 
 // Observe publishes the endpoint's hot-path counters and the CLOCK
 // rendezvous latency histogram into reg under side="board". Call it
 // before the run starts; it is not safe to call concurrently with the
 // run.
-func (ep *BoardEndpoint) Observe(reg *obs.Registry) {
-	ep.lv = newLive(reg, "board")
-	observeTransportStack(reg, ep.tr, "board")
+func (ep *BoardEndpoint) Observe(reg *obs.Registry) { ep.ObserveAs(reg, "board") }
+
+// ObserveAs is Observe with an explicit side label (see
+// HWEndpoint.ObserveAs).
+func (ep *BoardEndpoint) ObserveAs(reg *obs.Registry, side string) {
+	ep.lv = newLive(reg, side)
+	observeTransportStack(reg, ep.tr, side)
 }
 
 // Instrumentable is the single instrumentation hook shared by endpoints,

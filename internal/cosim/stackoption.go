@@ -1,0 +1,61 @@
+package cosim
+
+import "time"
+
+// StackOption mutates a StackConfig: the single layer-configuration
+// vocabulary shared by BuildStack call sites, router.Run
+// (router.WithStackOptions), the farm, and federation links. Options are
+// applied in order, so later options win — e.g. appending
+// WithDelay(0) after WithDelay(2*time.Millisecond) yields a delay-free
+// stack. An option configures ONE side of a link; the peer side derives
+// its configuration with StackConfig.Peer as usual.
+type StackOption func(*StackConfig)
+
+// WithDelay adds a fixed wall-clock latency to every send (see
+// DelayTransport); 0 removes a previously configured delay.
+func WithDelay(d time.Duration) StackOption {
+	return func(c *StackConfig) { c.Delay = d }
+}
+
+// WithChaos injects the seeded fault scenario beneath the session layer
+// (see ChaosTransport). Pair it with WithSession, or the injured frames
+// will poison the endpoint.
+func WithChaos(s Scenario) StackOption {
+	return func(c *StackConfig) { c.Chaos = &s }
+}
+
+// WithoutChaos removes a previously configured fault scenario.
+func WithoutChaos() StackOption {
+	return func(c *StackConfig) { c.Chaos = nil }
+}
+
+// WithSession stacks the resilience layer (see SessionTransport).
+func WithSession(sc SessionConfig) StackOption {
+	return func(c *StackConfig) { c.Session = &sc }
+}
+
+// WithBatching stacks the wire-frame coalescing layer topmost (see
+// BatchTransport). Both sides of a link must enable it together.
+func WithBatching() StackOption {
+	return func(c *StackConfig) { c.Batch = true }
+}
+
+// NewStackConfig folds the options over a zero StackConfig.
+func NewStackConfig(opts ...StackOption) StackConfig {
+	var c StackConfig
+	return c.With(opts...)
+}
+
+// With returns a copy of the configuration with the options applied on
+// top (later wins).
+func (c StackConfig) With(opts ...StackOption) StackConfig {
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// BuildStackWith is BuildStack over an option list.
+func BuildStackWith(base Transport, opts ...StackOption) (Transport, func() error) {
+	return BuildStack(base, NewStackConfig(opts...))
+}

@@ -1,5 +1,5 @@
 // Package farm is the multi-session co-simulation manager: where
-// router.RunCoSim runs one simulator↔board pair, a Farm runs many
+// router.Run runs one simulator↔board pair, a Farm runs many
 // independent sessions concurrently — a bounded worker pool fed by a
 // submission queue with backpressure, one TCP front door (a
 // cosim.MuxListener) multiplexing every board, per-session IDs and
@@ -458,6 +458,13 @@ func (f *Farm) runSession(s *Session) {
 // execute establishes the session's base transports and hands them to
 // the shared run entry point.
 func (f *Farm) execute(s *Session) (router.RunResult, error) {
+	if fc := s.cfg.Federation; fc != nil && (fc.InProcBoards || fc.Boards != 1) {
+		// A federated session with several boards (or in-process board
+		// hosting) establishes its own link per board; the farm's single
+		// mux link cannot carry it, so hand the run a zero Transports
+		// value and let the time manager wire the topology itself.
+		return router.Run(s.ctx, router.Transports{}, router.WithConfig(s.cfg))
+	}
 	var hwB, boardB cosim.Transport
 	switch s.cfg.Transport {
 	case router.TransportTCP, router.TransportUDS:

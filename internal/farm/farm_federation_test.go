@@ -1,0 +1,59 @@
+package farm
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/router"
+)
+
+// TestFarmRunsFederatedSessions: a RunConfig carrying a federation
+// topology flows through Submit like any other session — a single-board
+// wire federation rides the farm's mux link, a multi-board federation
+// wires its own links — and both match the equivalent direct run.
+func TestFarmRunsFederatedSessions(t *testing.T) {
+	f, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Single wire board over the farm's TCP front door: the degenerate
+	// K=2 federation must match the solo pairwise run bit-for-bit.
+	rc := quickConfig(0)
+	rc.Transport = router.TransportTCP
+	solo, err := router.Run(context.Background(), router.Transports{}, router.WithConfig(rc))
+	if err != nil {
+		t.Fatalf("solo: %v", err)
+	}
+	rc.Federation = &router.FederationConfig{Boards: 1}
+	s, err := f.Submit(context.Background(), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Result()
+	if err != nil {
+		t.Fatalf("federated session: %v", err)
+	}
+	if fingerprint(res) != fingerprint(solo) {
+		t.Errorf("farm federation diverged from solo run:\nsolo %+v\nfarm %+v", fingerprint(solo), fingerprint(res))
+	}
+
+	// A two-board federation cannot ride the single mux link; the farm
+	// must hand it a zero Transports value and still complete it.
+	rc = quickConfig(1)
+	rc.Federation = &router.FederationConfig{Boards: 2}
+	s, err = f.Submit(context.Background(), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err = s.Result(); err != nil {
+		t.Fatalf("multi-board federated session: %v", err)
+	}
+	if res.Conservation != nil {
+		t.Errorf("conservation: %v", res.Conservation)
+	}
+	if res.Accuracy != 1.0 {
+		t.Errorf("accuracy %.3f", res.Accuracy)
+	}
+}

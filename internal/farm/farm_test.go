@@ -49,7 +49,7 @@ func withChaos(rc router.RunConfig, seed int64) router.RunConfig {
 // TestFarmSessionsMatchSolo is the farm's headline property: N sessions
 // with mixed transports, half of them under chaos+resilience, all
 // running concurrently on one farm, each produce virtual-time results
-// bit-identical to the equivalent solo RunCoSim.
+// bit-identical to the equivalent solo router.Run.
 func TestFarmSessionsMatchSolo(t *testing.T) {
 	const n = 8
 	cfgs := make([]router.RunConfig, n)
@@ -63,7 +63,7 @@ func TestFarmSessionsMatchSolo(t *testing.T) {
 			rc = withChaos(rc, int64(1000+i))
 		}
 		cfgs[i] = rc
-		res, err := router.RunCoSim(rc)
+		res, err := router.Run(context.Background(), router.Transports{}, router.WithConfig(rc))
 		if err != nil {
 			t.Fatalf("solo run %d: %v", i, err)
 		}

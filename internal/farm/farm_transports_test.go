@@ -20,7 +20,7 @@ func TestFarmUnixFrontDoor(t *testing.T) {
 		rc := quickConfig(i)
 		rc.Transport = router.TransportUDS
 		cfgs[i] = rc
-		res, err := router.RunCoSim(rc)
+		res, err := router.Run(context.Background(), router.Transports{}, router.WithConfig(rc))
 		if err != nil {
 			t.Fatalf("solo run %d: %v", i, err)
 		}
@@ -76,7 +76,7 @@ func TestFarmShmSessions(t *testing.T) {
 	for i := 0; i < n; i++ {
 		rc := quickConfig(i)
 		rc.Transport = router.TransportShm
-		want, err := router.RunCoSim(rc)
+		want, err := router.Run(context.Background(), router.Transports{}, router.WithConfig(rc))
 		if err != nil {
 			t.Fatalf("solo run %d: %v", i, err)
 		}

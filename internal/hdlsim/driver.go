@@ -316,6 +316,144 @@ func (s *Simulator) findDriverOut(addr uint32) *DriverOut {
 	return nil
 }
 
+// Driver is the per-cycle core of the modified simulation loop, exported
+// so external coordinators (the federation time manager) can drive a
+// kernel quantum-by-quantum with exactly the cycle semantics of
+// DriverSimulate: per cycle it (1) checks the DATA port and performs the
+// required read/write actions, (2) accomplishes a standard simulation
+// cycle, and (3) checks the interrupt signals. Synchronization policy —
+// when to rendezvous, when to elide a boundary — is the caller's job;
+// DriverSimulate is the canonical single-link policy loop on top.
+type Driver struct {
+	s   *Simulator
+	clk *Clock
+	ep  DriverEndpoint
+	st  DriverStats
+}
+
+// NewDriver elaborates the design and returns a stepper over it. The
+// endpoint only needs PollData/SendData/SendInterrupt; Sync and Finish
+// are never invoked by Cycle.
+func (s *Simulator) NewDriver(clk *Clock, ep DriverEndpoint) (*Driver, error) {
+	if err := s.Elaborate(); err != nil {
+		return nil, err
+	}
+	return &Driver{s: s, clk: clk, ep: ep}, nil
+}
+
+// Cycle performs one driver-loop iteration: route inbound DATA, run one
+// clock cycle, scan interrupt lines, and flush posted driver_out writes.
+func (d *Driver) Cycle() error {
+	// (1) Check for the presence of data on DATA_PORT.
+	for _, m := range d.ep.PollData() {
+		d.st.DataIn++
+		if err := d.s.routeData(d.ep, m); err != nil {
+			return err
+		}
+		if m.Kind == DataReadReq {
+			d.st.DataOut++
+		}
+	}
+	// (2) A standard simulation cycle is accomplished.
+	if err := d.s.RunCycles(d.clk, 1); err != nil {
+		return err
+	}
+	d.st.Cycles++
+	// (3) The interrupt signal is checked.
+	for _, w := range d.s.intWatches {
+		level := w.sig.Read()
+		if level && !w.prev {
+			if err := d.ep.SendInterrupt(w.irq); err != nil {
+				return err
+			}
+			d.st.Interrupts++
+		}
+		w.prev = level
+	}
+	for _, irq := range d.s.intRaised {
+		if err := d.ep.SendInterrupt(irq); err != nil {
+			return err
+		}
+		d.st.Interrupts++
+	}
+	d.s.intRaised = d.s.intRaised[:0]
+	// Flush posted driver_out writes.
+	for _, out := range d.s.driverOuts {
+		for _, m := range out.posted {
+			if err := d.ep.SendData(m); err != nil {
+				return err
+			}
+			d.st.DataOut++
+		}
+		out.posted = out.posted[:0]
+	}
+	return nil
+}
+
+// Stopped reports whether the simulator ended the run (sc_stop).
+func (d *Driver) Stopped() bool { return d.s.stopped }
+
+// Cycles returns the number of cycles stepped so far.
+func (d *Driver) Cycles() uint64 { return d.st.Cycles }
+
+// Stats returns the driver-loop counters accumulated so far. SyncEvents,
+// SyncsElided and LastBoardCy belong to the synchronization policy, so
+// when a Driver is stepped externally they stay zero until the
+// coordinator records them with RecordSync/RecordElision.
+func (d *Driver) Stats() DriverStats { return d.st }
+
+// InterruptLookahead evaluates the model's lookahead oracle (see
+// SetInterruptLookahead).
+func (d *Driver) InterruptLookahead() uint64 { return d.s.interruptLookahead() }
+
+// RecordSync accounts one CLOCK rendezvous performed by an external
+// coordinator on this kernel's behalf.
+func (d *Driver) RecordSync(boardCycle uint64) {
+	d.st.SyncEvents++
+	d.st.LastBoardCy = boardCycle
+}
+
+// RecordElision accounts one TSync boundary an external coordinator
+// elided.
+func (d *Driver) RecordElision() { d.st.SyncsElided++ }
+
+// EffectiveMaxQuantum resolves a DriverConfig.MaxQuantum value against
+// its TSync: 0 defaults to 64×TSync (saturating), and the result is
+// clamped up to at least TSync. The federation time manager applies the
+// same resolution so elongation caps agree bit-for-bit with
+// DriverSimulate.
+func EffectiveMaxQuantum(tsync, maxQuantum uint64) uint64 {
+	maxQ := maxQuantum
+	if maxQ == 0 {
+		maxQ = tsync * defaultMaxQuantumFactor
+		if maxQ/defaultMaxQuantumFactor != tsync { // overflow
+			maxQ = UnboundedLookahead
+		}
+	}
+	if maxQ < tsync {
+		maxQ = tsync
+	}
+	return maxQ
+}
+
+// ElideBoundary is the conservative-elision predicate shared by
+// DriverSimulate and the federation time manager: a TSync boundary may
+// be skipped exactly when (a) no traffic was sent since the last grant —
+// the a-posteriori check that guarantees bit-identical results even when
+// a lookahead promise was wrong, (b) the accumulated grant acc stays
+// within the cap with room for one more quantum, (c) acc is strictly
+// inside the peer's promised lookahead (strict, because an event exactly
+// at the boundary must see its own rendezvous), (d) the local model does
+// not expect to interrupt within the next quantum, and (e) the run is
+// not stopping at this boundary.
+func ElideBoundary(acc, tsync, maxQ, peerLookahead, localLookahead uint64, trafficPending, stopping bool) bool {
+	return !trafficPending &&
+		acc <= maxQ-tsync &&
+		acc < peerLookahead &&
+		localLookahead >= tsync &&
+		!stopping
+}
+
 // DriverConfig parameterizes DriverSimulate.
 type DriverConfig struct {
 	// TSync is the synchronization interval in clock cycles: one CLOCK-port
@@ -366,110 +504,47 @@ type DriverStats struct {
 // cfg.TSync cycles it performs the CLOCK-port synchronization rendezvous
 // that grants the board its next slice of virtual ticks.
 func (s *Simulator) DriverSimulate(clk *Clock, ep DriverEndpoint, cfg DriverConfig) (DriverStats, error) {
-	var st DriverStats
 	if cfg.TSync == 0 {
-		return st, fmt.Errorf("hdlsim: DriverSimulate requires TSync ≥ 1")
+		return DriverStats{}, fmt.Errorf("hdlsim: DriverSimulate requires TSync ≥ 1")
 	}
-	if err := s.Elaborate(); err != nil {
-		return st, err
+	d, err := s.NewDriver(clk, ep)
+	if err != nil {
+		return DriverStats{}, err
 	}
 	aep, adaptive := ep.(AdaptiveEndpoint)
 	adaptive = adaptive && cfg.Adaptive
-	maxQ := cfg.MaxQuantum
-	if maxQ == 0 {
-		maxQ = cfg.TSync * defaultMaxQuantumFactor
-		if maxQ/defaultMaxQuantumFactor != cfg.TSync { // overflow
-			maxQ = UnboundedLookahead
-		}
-	}
-	if maxQ < cfg.TSync {
-		maxQ = cfg.TSync
-	}
+	maxQ := EffectiveMaxQuantum(cfg.TSync, cfg.MaxQuantum)
 	// pending accumulates the ticks of boundaries elided by adaptive
 	// elongation; they are granted in one piece at the next rendezvous.
 	pending := uint64(0)
 	sinceSync := uint64(0)
-	for st.Cycles < cfg.TotalCycles && !s.stopped {
-		// (1) Check for the presence of data on DATA_PORT.
-		for _, m := range ep.PollData() {
-			st.DataIn++
-			if err := s.routeData(ep, m); err != nil {
-				return st, err
-			}
-			if m.Kind == DataReadReq {
-				st.DataOut++
-			}
+	for d.st.Cycles < cfg.TotalCycles && !s.stopped {
+		if err := d.Cycle(); err != nil {
+			return d.st, err
 		}
-		// (2) A standard simulation cycle is accomplished.
-		if err := s.RunCycles(clk, 1); err != nil {
-			return st, err
-		}
-		st.Cycles++
 		sinceSync++
-		// (3) The interrupt signal is checked.
-		for _, w := range s.intWatches {
-			level := w.sig.Read()
-			if level && !w.prev {
-				if err := ep.SendInterrupt(w.irq); err != nil {
-					return st, err
-				}
-				st.Interrupts++
-			}
-			w.prev = level
-		}
-		for _, irq := range s.intRaised {
-			if err := ep.SendInterrupt(irq); err != nil {
-				return st, err
-			}
-			st.Interrupts++
-		}
-		s.intRaised = s.intRaised[:0]
-		// Flush posted driver_out writes.
-		for _, d := range s.driverOuts {
-			for _, m := range d.posted {
-				if err := ep.SendData(m); err != nil {
-					return st, err
-				}
-				st.DataOut++
-			}
-			d.posted = d.posted[:0]
-		}
 		// CLOCK-port synchronization every TSync cycles. With adaptive
-		// elongation a boundary may be elided: the ticks accumulate in
-		// `pending` and are granted in one piece later. Eliding is safe
-		// exactly when (a) no traffic was sent since the last grant — the
-		// a-posteriori check that guarantees bit-identical results even
-		// when a lookahead promise was wrong, (b) the accumulated grant
-		// stays strictly inside the board's promised lookahead (strict,
-		// because an event exactly at the boundary must see its own
-		// rendezvous), (c) the device model does not expect to interrupt
-		// within the next quantum, (d) the cap has room, and (e) the run
-		// is not stopping at this boundary.
+		// elongation a boundary may be elided (see ElideBoundary): the
+		// ticks accumulate in `pending` and are granted in one piece
+		// later.
 		if sinceSync >= cfg.TSync {
 			acc := pending + sinceSync
-			elide := false
-			if adaptive &&
-				!aep.TrafficPending() &&
-				acc <= maxQ-cfg.TSync &&
-				acc < aep.PeerLookahead() &&
-				s.interruptLookahead() >= cfg.TSync &&
-				!(cfg.StopEarly != nil && cfg.StopEarly()) {
-				elide = true
-			}
+			elide := adaptive && ElideBoundary(acc, cfg.TSync, maxQ,
+				aep.PeerLookahead(), s.interruptLookahead(),
+				aep.TrafficPending(), cfg.StopEarly != nil && cfg.StopEarly())
 			if elide {
 				pending = acc
 				sinceSync = 0
-				st.SyncsElided++
+				d.st.SyncsElided++
 			} else {
 				if adaptive {
 					aep.SetLocalLookahead(s.interruptLookahead())
 				}
-				bc, err := ep.Sync(acc, st.Cycles)
+				bc, err := ep.Sync(acc, d.st.Cycles)
 				if err != nil {
-					return st, err
+					return d.st, err
 				}
-				st.LastBoardCy = bc
-				st.SyncEvents++
+				d.RecordSync(bc)
 				pending, sinceSync = 0, 0
 				if cfg.StopEarly != nil && cfg.StopEarly() {
 					break
@@ -481,12 +556,11 @@ func (s *Simulator) DriverSimulate(clk *Clock, ep DriverEndpoint, cfg DriverConf
 		if adaptive {
 			aep.SetLocalLookahead(s.interruptLookahead())
 		}
-		bc, err := ep.Sync(pending+sinceSync, st.Cycles)
+		bc, err := ep.Sync(pending+sinceSync, d.st.Cycles)
 		if err != nil {
-			return st, err
+			return d.st, err
 		}
-		st.LastBoardCy = bc
-		st.SyncEvents++
+		d.RecordSync(bc)
 	}
-	return st, ep.Finish(st.Cycles)
+	return d.st, ep.Finish(d.st.Cycles)
 }

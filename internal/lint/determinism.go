@@ -21,8 +21,11 @@ type DeterminismConfig struct {
 	Hybrid []string
 }
 
-// DefaultDeterminismConfig matches the repo layout: the simulators and
-// board model are strict; internal/cosim is hybrid.
+// DefaultDeterminismConfig matches the repo layout: the simulators,
+// board model, and the hierarchical time manager are strict;
+// internal/cosim is hybrid. The federation package is strict rather
+// than hybrid like its parent: the time manager IS the rendezvous
+// schedule, so any host observation there skews every party at once.
 func DefaultDeterminismConfig() DeterminismConfig {
 	return DeterminismConfig{
 		Strict: []string{
@@ -31,6 +34,7 @@ func DefaultDeterminismConfig() DeterminismConfig {
 			"repro/internal/iss",
 			"repro/internal/sim",
 			"repro/internal/board",
+			"repro/internal/cosim/federation",
 		},
 		Hybrid: []string{"repro/internal/cosim"},
 	}

@@ -7,7 +7,7 @@
 // synchronization instrumentation: endpoints publish per-quantum CLOCK
 // rendezvous latencies and live channel counters into it, so a run can
 // be observed while it is alive instead of only through the Metrics
-// struct read after RunCoSim returns.
+// struct read after router.Run returns.
 //
 // Metric names follow Prometheus conventions; labels are baked into the
 // registered name with the Name helper:

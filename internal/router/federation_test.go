@@ -1,0 +1,243 @@
+package router
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cosim"
+)
+
+// fedTransports lists the transport kinds the federation matrix covers
+// on this platform.
+func fedTransports() []TransportKind {
+	kinds := []TransportKind{TransportInProc, TransportTCP, TransportUDS}
+	if cosim.ShmSupported() {
+		kinds = append(kinds, TransportShm)
+	}
+	return kinds
+}
+
+// TestFederationPairwiseBitIdentity is the K=2 acceptance gate of the
+// time-manager redesign: a one-board federation must replicate the
+// pairwise run exactly — same virtual-time fingerprint AND the same
+// rendezvous schedule (SyncEvents + SyncsElided) — on every transport,
+// with and without adaptive elongation.
+func TestFederationPairwiseBitIdentity(t *testing.T) {
+	for _, kind := range fedTransports() {
+		for _, adaptive := range []bool{false, true} {
+			name := kind.String()
+			if adaptive {
+				name += "/adaptive"
+			}
+			t.Run(name, func(t *testing.T) {
+				rc := DefaultRunConfig()
+				rc.TB = smallTB()
+				rc.TSync = 200
+				rc.Transport = kind
+				rc.Adaptive = adaptive
+				if adaptive {
+					// Sparser traffic leaves quiet boundaries for the
+					// negotiation to elide; the busy default never does.
+					rc.TB.Period = 2000
+				}
+
+				pair, err := Run(context.Background(), Transports{}, WithConfig(rc))
+				if err != nil {
+					t.Fatalf("pairwise: %v", err)
+				}
+				fed, err := RunFederation(context.Background(), FederationConfig{Boards: 1}, WithConfig(rc))
+				if err != nil {
+					t.Fatalf("federation: %v", err)
+				}
+
+				if got, want := fingerprint(fed.RunResult), fingerprint(pair); got != want {
+					t.Errorf("virtual-time fingerprint diverged:\npair %+v\nfed  %+v", want, got)
+				}
+				if fed.HW.SyncEvents != pair.HW.SyncEvents {
+					t.Errorf("SyncEvents: pair %d, federation %d", pair.HW.SyncEvents, fed.HW.SyncEvents)
+				}
+				if fed.HW.SyncsElided != pair.HW.SyncsElided {
+					t.Errorf("SyncsElided: pair %d, federation %d", pair.HW.SyncsElided, fed.HW.SyncsElided)
+				}
+				if adaptive && fed.HW.SyncsElided == 0 {
+					t.Error("adaptive federation elided nothing — the negotiation is not reaching the manager")
+				}
+				if fed.TransportKind != kind {
+					t.Errorf("reported transport %v, want %v", fed.TransportKind, kind)
+				}
+				if fed.Conservation != nil {
+					t.Errorf("conservation: %v", fed.Conservation)
+				}
+			})
+		}
+	}
+}
+
+// TestFederationInProcBoardIdentity: hosting the board in-process as a
+// board.Federate (no wire, no goroutine) must still match the pairwise
+// run's virtual-time results — the grant application order is the wire
+// contract, not a transport artifact.
+func TestFederationInProcBoardIdentity(t *testing.T) {
+	rc := DefaultRunConfig()
+	rc.TB = smallTB()
+	rc.TSync = 200
+
+	pair, err := Run(context.Background(), Transports{}, WithConfig(rc))
+	if err != nil {
+		t.Fatalf("pairwise: %v", err)
+	}
+	fed, err := RunFederation(context.Background(), FederationConfig{Boards: 1, InProcBoards: true}, WithConfig(rc))
+	if err != nil {
+		t.Fatalf("federation: %v", err)
+	}
+	if got, want := fingerprint(fed.RunResult), fingerprint(pair); got != want {
+		t.Errorf("virtual-time fingerprint diverged:\npair %+v\nfed  %+v", want, got)
+	}
+	if fed.TransportKind != TransportInProc {
+		t.Errorf("in-process federation reported transport %v", fed.TransportKind)
+	}
+}
+
+// TestFederationMultiBoardDeterminism covers the 1-device+K-board
+// topology: the run must verify every packet, keep the conservation
+// invariant, and produce the identical fingerprint on repeated runs (the
+// -race build makes this an adversarial-interleaving check for the wire
+// variant, which runs each board on its own goroutine).
+func TestFederationMultiBoardDeterminism(t *testing.T) {
+	for _, inproc := range []bool{false, true} {
+		name := "wire"
+		if inproc {
+			name = "inprocBoards"
+		}
+		t.Run(name, func(t *testing.T) {
+			run := func() FederationResult {
+				rc := DefaultRunConfig()
+				rc.TB = smallTB()
+				rc.TSync = 200
+				res, err := RunFederation(context.Background(),
+					FederationConfig{Boards: 2, InProcBoards: inproc}, WithConfig(rc))
+				if err != nil {
+					t.Fatalf("federation: %v", err)
+				}
+				return res
+			}
+			a, b := run(), run()
+			if a.Accuracy != 1.0 {
+				t.Errorf("accuracy %.3f (router %+v)", a.Accuracy, a.Router)
+			}
+			if a.Conservation != nil {
+				t.Errorf("conservation: %v", a.Conservation)
+			}
+			if len(a.Apps) != 2 || len(a.BoardCycles) != 2 {
+				t.Fatalf("%d app stats, %d board clocks", len(a.Apps), len(a.BoardCycles))
+			}
+			if a.Apps[0].Verified == 0 || a.Apps[1].Verified == 0 {
+				t.Errorf("load not split: verified %d/%d", a.Apps[0].Verified, a.Apps[1].Verified)
+			}
+			if fingerprint(a.RunResult) != fingerprint(b.RunResult) {
+				t.Errorf("repeated runs diverged:\nfirst  %+v\nsecond %+v",
+					fingerprint(a.RunResult), fingerprint(b.RunResult))
+			}
+			if a.Fed.Syncs != b.Fed.Syncs || a.Fed.Elided != b.Fed.Elided {
+				t.Errorf("schedules diverged: %d/%d vs %d/%d syncs/elided",
+					a.Fed.Syncs, a.Fed.Elided, b.Fed.Syncs, b.Fed.Elided)
+			}
+		})
+	}
+}
+
+// TestFederationPulseDevices covers the K-device+1-board topology: two
+// auxiliary HDL kernels beat into board 0's private windows alongside
+// the router traffic. Every emitted heartbeat must arrive (the routed
+// exchange loses nothing), deterministically.
+func TestFederationPulseDevices(t *testing.T) {
+	for _, adaptive := range []bool{false, true} {
+		name := "plain"
+		if adaptive {
+			name = "adaptive"
+		}
+		t.Run(name, func(t *testing.T) {
+			run := func() FederationResult {
+				rc := DefaultRunConfig()
+				rc.TB = smallTB()
+				rc.TSync = 200
+				rc.Adaptive = adaptive
+				res, err := RunFederation(context.Background(),
+					FederationConfig{Boards: 1, PulseDevices: 2}, WithConfig(rc))
+				if err != nil {
+					t.Fatalf("federation: %v", err)
+				}
+				return res
+			}
+			res := run()
+			if res.Accuracy != 1.0 {
+				t.Errorf("accuracy %.3f with pulse devices attached", res.Accuracy)
+			}
+			if len(res.PulseSent) != 2 || len(res.PulseSeen) != 2 {
+				t.Fatalf("pulse counters: sent %v seen %v", res.PulseSent, res.PulseSeen)
+			}
+			for p := range res.PulseSent {
+				if res.PulseSent[p] == 0 {
+					t.Errorf("pulse %d never beat", p)
+				}
+				if res.PulseSent[p] != res.PulseSeen[p] {
+					t.Errorf("pulse %d: %d heartbeats sent, %d observed by the board DSR",
+						p, res.PulseSent[p], res.PulseSeen[p])
+				}
+			}
+			again := run()
+			if fingerprint(res.RunResult) != fingerprint(again.RunResult) {
+				t.Errorf("repeated runs diverged")
+			}
+			if res.PulseSeen[0] != again.PulseSeen[0] || res.PulseSeen[1] != again.PulseSeen[1] {
+				t.Errorf("pulse delivery diverged: %v vs %v", res.PulseSeen, again.PulseSeen)
+			}
+		})
+	}
+}
+
+// TestFederationConfigValidate: incoherent topologies fail fast with
+// actionable errors, like RunConfig.Validate.
+func TestFederationConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		fc   FederationConfig
+	}{
+		{"no boards", FederationConfig{Boards: 0}},
+		{"negative pulses", FederationConfig{Boards: 1, PulseDevices: -1}},
+		{"inproc with link stack", FederationConfig{Boards: 1, InProcBoards: true,
+			LinkStack: []cosim.StackOption{cosim.WithBatching()}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.fc.Validate(); err == nil {
+				t.Fatal("invalid federation config accepted")
+			}
+			if _, err := RunFederation(context.Background(), tc.fc); err == nil {
+				t.Fatal("RunFederation accepted an invalid config")
+			}
+		})
+	}
+}
+
+// TestRunDispatchesFederation: the plain Run entry point honors
+// WithFederation, returning the embedded pairwise-compatible result.
+func TestRunDispatchesFederation(t *testing.T) {
+	rc := DefaultRunConfig()
+	rc.TB = smallTB()
+	rc.TSync = 200
+
+	direct, err := Run(context.Background(), Transports{}, WithConfig(rc))
+	if err != nil {
+		t.Fatalf("pairwise: %v", err)
+	}
+	viaOption, err := Run(context.Background(), Transports{}, WithConfig(rc),
+		WithFederation(FederationConfig{Boards: 1}))
+	if err != nil {
+		t.Fatalf("federated Run: %v", err)
+	}
+	if fingerprint(direct) != fingerprint(viaOption) {
+		t.Errorf("WithFederation result diverged from pairwise:\npair %+v\nfed  %+v",
+			fingerprint(direct), fingerprint(viaOption))
+	}
+}

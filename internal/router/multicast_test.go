@@ -1,6 +1,7 @@
 package router
 
 import (
+	"context"
 	"math/bits"
 	"testing"
 
@@ -69,7 +70,7 @@ func TestMulticastThroughFullCoSim(t *testing.T) {
 	rc.TB.MulticastRate = 0.4
 	rc.TB.Seed = 5
 	rc.TSync = 250
-	res, err := RunCoSim(rc)
+	res, err := Run(context.Background(), Transports{}, WithConfig(rc))
 	if err != nil {
 		t.Fatal(err)
 	}

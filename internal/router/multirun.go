@@ -1,11 +1,7 @@
 package router
 
 import (
-	"fmt"
-	"time"
-
-	"repro/internal/cosim"
-	"repro/internal/hdlsim"
+	"context"
 )
 
 // MultiRunResult extends RunResult with per-board application statistics.
@@ -19,91 +15,21 @@ type MultiRunResult struct {
 // serving one of the router's checksum engines through its own
 // three-channel link — the multi-processor extension of the framework
 // (paper refs [19],[20]). Packets are assigned to engines round-robin, so
-// the verification load splits evenly across boards. Only the in-process
-// transport is supported (the standalone binaries cover the TCP case for
-// one board).
+// the verification load splits evenly across boards.
+//
+// Since the federation redesign this is a thin veneer over the
+// hierarchical time manager: RunFederation with an in-process-transport
+// link per board. Only the in-process transport is wired here (the
+// standalone binaries cover the cross-process case); use RunFederation
+// directly for other transports, pulse devices, or in-process board
+// hosting.
 func RunCoSimMulti(rc RunConfig, boards int) (MultiRunResult, error) {
-	if boards < 1 {
-		return MultiRunResult{}, fmt.Errorf("router: need at least one board")
-	}
-	// The multi-board rig always wires its links with NewInProcPair (see
-	// the doc comment), so the result says so — echoing rc.Transport here
-	// used to mislabel these runs whenever a caller left a TCP default in
-	// the config.
-	res := MultiRunResult{RunResult: RunResult{TSync: rc.TSync, TransportKind: TransportInProc, Mode: rc.Mode}}
-	rc.TB.Engines = boards
-	tb := BuildTestbench(rc.TB)
-
-	multi := cosim.NewMultiHWEndpoint()
-	var sides []*BoardSide
-	var hwTs []cosim.Transport
-	boardDone := make(chan error, boards)
-	for i := 0; i < boards; i++ {
-		acfg := rc.AppCfg
-		acfg.Engine = i
-		bs, err := BuildBoardSide(rc.BoardCfg, acfg)
-		if err != nil {
-			return res, err
-		}
-		hwT, boardT := cosim.NewInProcPair(4096)
-		hwTs = append(hwTs, hwT)
-		ep := cosim.NewHWEndpoint(hwT, cosim.SyncAlternating)
-		if _, err := multi.AddBoard(ep, EngineBase(i), EngineStride); err != nil {
-			return res, err
-		}
-		if err := multi.RouteIRQ(EngineIRQ(i), i); err != nil {
-			return res, err
-		}
-		bep := cosim.NewBoardEndpoint(boardT)
-		bs.Dev.Attach(bep)
-		sides = append(sides, bs)
-		go func(bs *BoardSide) { boardDone <- bs.Board.Run(bep) }(bs)
-	}
-	defer func() {
-		for _, tr := range hwTs {
-			tr.Close()
-		}
-	}()
-
-	start := time.Now()
-	hwStats, err := tb.Sim.DriverSimulate(tb.Clk, multi, hdlsim.DriverConfig{
-		TSync:       rc.TSync,
-		TotalCycles: rc.budget(),
-		StopEarly:   tb.Finished,
-	})
-	res.Wall = time.Since(start)
-	if err != nil {
-		for _, tr := range hwTs {
-			tr.Close()
-		}
-		for i := 0; i < boards; i++ {
-			<-boardDone
-		}
-		return res, fmt.Errorf("router: hw side: %w", err)
-	}
-	for i := 0; i < boards; i++ {
-		if err := <-boardDone; err != nil {
-			return res, fmt.Errorf("router: a board failed: %w", err)
-		}
-	}
-
-	res.HW = hwStats
-	res.Router = tb.Router.Stats()
-	res.Consumers = tb.ConsumerTotals()
-	res.Generated = tb.Generated()
-	res.SimCycles = hwStats.Cycles
-	var overruns, mboxDrops uint64
-	for i, bs := range sides {
-		st := bs.App.Stats()
-		res.Apps = append(res.Apps, st)
-		overruns += st.Overruns
-		mboxDrops += st.MboxDrops
-		cy, _ := multi.Member(i).BoardTime()
-		res.BoardCycles = append(res.BoardCycles, cy)
-	}
-	if res.Generated > 0 {
-		res.Accuracy = float64(res.Router.Forwarded) / float64(res.Generated)
-	}
-	res.Conservation = tb.CheckConservation(overruns, mboxDrops)
-	return res, nil
+	// The multi-board rig always wires its links in-process (see the doc
+	// comment), so both the links and the result say so — echoing
+	// rc.Transport here used to mislabel these runs whenever a caller
+	// left a TCP default in the config.
+	rc.Transport = TransportInProc
+	rc.Federation = &FederationConfig{Boards: boards}
+	res, err := runFederation(context.Background(), rc, Transports{})
+	return res.MultiRunResult, err
 }

@@ -1,6 +1,9 @@
 package router
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestMultiBoardCoSimSplitsLoad(t *testing.T) {
 	rc := DefaultRunConfig()
@@ -41,7 +44,7 @@ func TestMultiBoardMatchesSingleBoardAccuracy(t *testing.T) {
 		rc.TSync = tsync
 		var acc float64
 		if boards == 1 {
-			res, err := RunCoSim(rc)
+			res, err := Run(context.Background(), Transports{}, WithConfig(rc))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -68,7 +71,7 @@ func TestMultiBoardOneBoardDegeneratesToSingle(t *testing.T) {
 	rc := DefaultRunConfig()
 	rc.TB = smallTB()
 	rc.TSync = 300
-	single, err := RunCoSim(rc)
+	single, err := Run(context.Background(), Transports{}, WithConfig(rc))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,8 +23,8 @@ type Transports struct {
 type Option func(*RunConfig)
 
 // WithConfig replaces the entire configuration. Use it to run a fully
-// assembled RunConfig through the Run entry point (the deprecated
-// RunCoSim/RunOnTransports wrappers do exactly this).
+// assembled RunConfig through the Run entry point (the removed
+// RunCoSim/RunOnTransports wrappers did exactly this).
 func WithConfig(rc RunConfig) Option { return func(c *RunConfig) { *c = rc } }
 
 // WithTSync sets the synchronization interval in clock cycles.
@@ -64,6 +64,28 @@ func WithStack(sc cosim.StackConfig) Option {
 		c.Resilience = sc.Session
 		c.Batch = sc.Batch
 	}
+}
+
+// WithStackOptions applies cosim.StackOption layers on top of the
+// config's current transport-stack fields (later options win, as in
+// cosim.StackConfig.With). It composes with WithStack: the options fold
+// over whatever the config holds at application time.
+func WithStackOptions(opts ...cosim.StackOption) Option {
+	return func(c *RunConfig) {
+		sc := c.stack().With(opts...)
+		c.LinkDelay, c.Chaos, c.Resilience, c.Batch = sc.Delay, sc.Chaos, sc.Session, sc.Batch
+	}
+}
+
+// WithFederation routes the run through the hierarchical time manager
+// (internal/cosim/federation) with the given N-party topology. All other
+// options keep their meaning — TSync, Adaptive/MaxQuantum, Mode,
+// Transport, the stack fields and Obs apply to every wire board link —
+// except TB.Engines, which is forced to the board count. Run then
+// returns the embedded RunResult of the federated run; use RunFederation
+// for the full FederationResult.
+func WithFederation(fc FederationConfig) Option {
+	return func(c *RunConfig) { c.Federation = &fc }
 }
 
 // WithObs publishes live metrics for the run into reg.
@@ -107,6 +129,10 @@ func Run(ctx context.Context, tr Transports, opts ...Option) (RunResult, error) 
 	if (tr.HW == nil) != (tr.Board == nil) {
 		closeBoth(tr)
 		return res, errHalfTransports
+	}
+	if rc.Federation != nil {
+		fres, err := runFederation(ctx, rc, tr)
+		return fres.RunResult, err
 	}
 	if tr.HW == nil {
 		if err := rc.Validate(); err != nil {

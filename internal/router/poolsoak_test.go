@@ -1,6 +1,7 @@
 package router
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -38,7 +39,7 @@ func TestChaosAdaptivePoolSoak(t *testing.T) {
 	}
 	run := func(rc RunConfig) RunResult {
 		t.Helper()
-		res, err := RunCoSim(rc)
+		res, err := Run(context.Background(), Transports{}, WithConfig(rc))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cosim"
@@ -114,7 +115,7 @@ func TestCoSimEndToEndInProc(t *testing.T) {
 	rc := DefaultRunConfig()
 	rc.TB = smallTB()
 	rc.TSync = 200
-	res, err := RunCoSim(rc)
+	res, err := Run(context.Background(), Transports{}, WithConfig(rc))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestCoSimEndToEndTCP(t *testing.T) {
 	rc.TB = smallTB()
 	rc.TSync = 500
 	rc.Transport = TransportTCP
-	res, err := RunCoSim(rc)
+	res, err := Run(context.Background(), Transports{}, WithConfig(rc))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestCoSimDeterministicAcrossTransports(t *testing.T) {
 		rc.TSync = 300
 		rc.Transport = tr
 		rc.Mode = mode
-		res, err := RunCoSim(rc)
+		res, err := Run(context.Background(), Transports{}, WithConfig(rc))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -190,7 +191,7 @@ func TestCoSimCorruptPacketsDropped(t *testing.T) {
 	rc.TB.ErrRate = 0.4
 	rc.TB.Seed = 7
 	rc.TSync = 200
-	res, err := RunCoSim(rc)
+	res, err := Run(context.Background(), Transports{}, WithConfig(rc))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestCoSimAnnotatedTimingModel(t *testing.T) {
 	rc.TB = smallTB()
 	rc.TSync = 200
 	rc.AppCfg.Timing = TimingAnnotated
-	res, err := RunCoSim(rc)
+	res, err := Run(context.Background(), Transports{}, WithConfig(rc))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,14 +229,14 @@ func TestCoSimAccuracyDegradesWithLooseCoupling(t *testing.T) {
 	tight := DefaultRunConfig()
 	tight.TB = smallTB()
 	tight.TSync = 100
-	resT, err := RunCoSim(tight)
+	resT, err := Run(context.Background(), Transports{}, WithConfig(tight))
 	if err != nil {
 		t.Fatal(err)
 	}
 	loose := DefaultRunConfig()
 	loose.TB = smallTB()
 	loose.TSync = 6000
-	resL, err := RunCoSim(loose)
+	resL, err := Run(context.Background(), Transports{}, WithConfig(loose))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +257,7 @@ func TestCoSimFewerSyncsWithLargerTsync(t *testing.T) {
 		rc := DefaultRunConfig()
 		rc.TB = smallTB()
 		rc.TSync = ts
-		res, err := RunCoSim(rc)
+		res, err := Run(context.Background(), Transports{}, WithConfig(rc))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -115,6 +115,10 @@ type RunConfig struct {
 	// Trace, when non-nil, logs every protocol message of both sides (see
 	// cosim.TraceTransport).
 	Trace io.Writer
+	// Federation, when non-nil, routes the run through the hierarchical
+	// time manager with the given N-party topology (see WithFederation);
+	// nil keeps the pairwise fast path.
+	Federation *FederationConfig
 }
 
 // DefaultRunConfig assembles the experiment defaults.
@@ -168,9 +172,9 @@ func (r RunResult) String() string {
 }
 
 // Validate rejects incoherent configurations up front, with actionable
-// errors, instead of letting them fail (or hang) mid-run. RunCoSim,
-// RunOnTransports, and farm.Farm.Submit all call it; call it directly
-// when building configs programmatically.
+// errors, instead of letting them fail (or hang) mid-run. router.Run and
+// farm.Farm.Submit both call it; call it directly when building configs
+// programmatically.
 func (rc RunConfig) Validate() error {
 	if rc.TSync == 0 {
 		return fmt.Errorf("router: invalid RunConfig: TSync is 0, so the simulator would never grant virtual time; set a synchronization interval ≥ 1 (DefaultRunConfig uses 1000)")
@@ -272,25 +276,6 @@ func acceptAndDial(ln *cosim.Listener) (hwT, boardT cosim.Transport, err error) 
 		return nil, nil, a.err
 	}
 	return a.tr, boardT, nil
-}
-
-// RunCoSim executes the full paper testbench over a self-dialed link.
-//
-// Deprecated: use Run with a zero Transports value, e.g.
-// Run(ctx, Transports{}, WithConfig(rc)). RunCoSim remains as a thin
-// wrapper with identical behavior.
-func RunCoSim(rc RunConfig) (RunResult, error) {
-	return Run(context.Background(), Transports{}, WithConfig(rc))
-}
-
-// RunOnTransports executes the testbench over caller-established base
-// transports.
-//
-// Deprecated: use Run, e.g. Run(ctx, Transports{HW: hwBase, Board:
-// boardBase}, WithConfig(rc)). RunOnTransports remains as a thin wrapper
-// with identical behavior.
-func RunOnTransports(rc RunConfig, hwBase, boardBase cosim.Transport) (RunResult, error) {
-	return Run(context.Background(), Transports{HW: hwBase, Board: boardBase}, WithConfig(rc))
 }
 
 // runOnTransports is the core of every Run entry point: it executes the

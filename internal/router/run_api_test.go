@@ -22,19 +22,16 @@ func fingerprint(res RunResult) runOutcome {
 	return runOutcome{r: res.Router, cycles: res.BoardCycles, ticks: res.BoardSWTicks, sim: res.SimCycles}
 }
 
-// TestDeprecatedWrappersEquivalence proves the compatibility contract of
-// the API redesign: RunCoSim and RunOnTransports are thin veneers over
-// Run, and all three produce bit-identical virtual-time results for the
-// same configuration.
-func TestDeprecatedWrappersEquivalence(t *testing.T) {
+// TestRunEntryPointEquivalence is the tombstone of the removed
+// RunCoSim(rc) and RunOnTransports(rc, hw, board) wrappers: every
+// spelling of a run — WithConfig over a zero Transports value (the old
+// RunCoSim), an equivalent option list, and caller-established
+// transports (the old RunOnTransports) — produces bit-identical
+// virtual-time results for the same configuration.
+func TestRunEntryPointEquivalence(t *testing.T) {
 	rc := DefaultRunConfig()
 	rc.TB.PacketsPerPort = 4
 	rc.TSync = 200
-
-	viaWrapper, err := RunCoSim(rc)
-	if err != nil {
-		t.Fatalf("RunCoSim: %v", err)
-	}
 
 	viaRun, err := Run(context.Background(), Transports{}, WithConfig(rc))
 	if err != nil {
@@ -49,19 +46,18 @@ func TestDeprecatedWrappersEquivalence(t *testing.T) {
 	}
 
 	hwT, boardT := cosim.NewInProcPair(4096)
-	viaTransports, err := RunOnTransports(rc, hwT, boardT)
+	viaTransports, err := Run(context.Background(), Transports{HW: hwT, Board: boardT}, WithConfig(rc))
 	if err != nil {
-		t.Fatalf("RunOnTransports: %v", err)
+		t.Fatalf("Run(Transports): %v", err)
 	}
 
-	want := fingerprint(viaWrapper)
+	want := fingerprint(viaRun)
 	for name, got := range map[string]RunResult{
-		"Run(WithConfig)": viaRun,
 		"Run(options)":    viaOptions,
-		"RunOnTransports": viaTransports,
+		"Run(Transports)": viaTransports,
 	} {
 		if fingerprint(got) != want {
-			t.Errorf("%s diverged from RunCoSim:\nwant %+v\ngot  %+v", name, want, fingerprint(got))
+			t.Errorf("%s diverged from Run(WithConfig):\nwant %+v\ngot  %+v", name, want, fingerprint(got))
 		}
 	}
 }

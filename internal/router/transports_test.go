@@ -12,7 +12,7 @@ func TestCoSimEndToEndUDS(t *testing.T) {
 	rc.TB = smallTB()
 	rc.TSync = 500
 	rc.Transport = TransportUDS
-	res, err := RunCoSim(rc)
+	res, err := Run(context.Background(), Transports{}, WithConfig(rc))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +32,7 @@ func TestCoSimEndToEndShm(t *testing.T) {
 	rc.TB = smallTB()
 	rc.TSync = 500
 	rc.Transport = TransportShm
-	res, err := RunCoSim(rc)
+	res, err := Run(context.Background(), Transports{}, WithConfig(rc))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -54,9 +55,9 @@ func TestRunConfigValidate(t *testing.T) {
 			if !strings.Contains(err.Error(), tc.want) {
 				t.Fatalf("error %q does not name the problem (%q)", err, tc.want)
 			}
-			// RunCoSim must reject it up front, before any run starts.
-			if _, err := RunCoSim(rc); err == nil {
-				t.Fatal("RunCoSim accepted an invalid config")
+			// Run must reject it up front, before any run starts.
+			if _, err := Run(context.Background(), Transports{}, WithConfig(rc)); err == nil {
+				t.Fatal("Run accepted an invalid config")
 			}
 		})
 	}
@@ -72,14 +73,14 @@ func TestRunConfigValidate(t *testing.T) {
 	}
 }
 
-// TestRunOnTransportsClosesOnInvalidConfig proves the session-reusable
+// TestRunClosesTransportsOnInvalidConfig proves the session-reusable
 // entry point releases caller-established transports even when it
 // rejects the config.
-func TestRunOnTransportsClosesOnInvalidConfig(t *testing.T) {
+func TestRunClosesTransportsOnInvalidConfig(t *testing.T) {
 	hwT, boardT := cosim.NewInProcPair(4)
 	rc := DefaultRunConfig()
 	rc.TSync = 0
-	if _, err := RunOnTransports(rc, hwT, boardT); err == nil {
+	if _, err := Run(context.Background(), Transports{HW: hwT, Board: boardT}, WithConfig(rc)); err == nil {
 		t.Fatal("invalid config accepted")
 	}
 	if _, err := hwT.Recv(cosim.ChanInt); err != cosim.ErrClosed {

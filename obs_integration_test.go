@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -67,7 +68,7 @@ func TestLiveMetricsAdvanceDuringRun(t *testing.T) {
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		res, err := router.RunCoSim(rc)
+		res, err := router.Run(context.Background(), router.Transports{}, router.WithConfig(rc))
 		done <- outcome{res, err}
 	}()
 
@@ -89,7 +90,7 @@ poll:
 		}
 	}
 	if result.err != nil {
-		t.Fatalf("RunCoSim: %v", result.err)
+		t.Fatalf("Run: %v", result.err)
 	}
 
 	if len(seen) < 2 {

@@ -1,0 +1,45 @@
+#!/bin/sh
+# Cross-process shared-memory smoke test: cosim-hw creates the link file
+# (-shm-path, CreateShm), cosim-board attaches to it from a second
+# process (OpenShm), and the run must report 100% packet accuracy.
+# The in-repo tests cover NewShmPair inside one process; this script is
+# the only place the creator/opener rendezvous runs across a real
+# process boundary, exactly as a user would launch it.
+#
+# Usage: scripts/shm_smoke.sh   (from the repository root)
+set -eu
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+path="$dir/link.shm"
+
+go build -o "$dir/cosim-hw" ./cmd/cosim-hw
+go build -o "$dir/cosim-board" ./cmd/cosim-board
+
+"$dir/cosim-hw" -shm-path "$path" -n 40 -tsync 500 >"$dir/hw.log" 2>&1 &
+hw=$!
+
+# Wait for the link file to appear before attaching. The board also
+# retries internally while the segment header is being stamped, so this
+# loop only bounds how long we wait for cosim-hw to start at all.
+i=0
+while [ ! -e "$path" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "shm smoke: link file never appeared" >&2
+        cat "$dir/hw.log" >&2
+        kill "$hw" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+
+"$dir/cosim-board" -shm-path "$path" >"$dir/board.log" 2>&1
+wait "$hw"
+
+if ! grep -q "accuracy=100.0%" "$dir/hw.log"; then
+    echo "shm smoke: hw side did not report 100% accuracy" >&2
+    cat "$dir/hw.log" "$dir/board.log" >&2
+    exit 1
+fi
+echo "shm smoke: OK (cross-process CreateShm/OpenShm link verified)"
