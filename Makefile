@@ -17,7 +17,7 @@ SHM_SPEEDUP ?= Transport/Fig5/N=20/tcp:Transport/Fig5/N=20/shm:3
 STATICCHECK_MOD := honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK_MOD := golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: all vet build test race fuzz-smoke farm-soak transport-matrix federation-matrix shm-smoke bench-json bench-gate bench-adaptive staticcheck govulncheck cosim-lint lint lint-fix-check ci
+.PHONY: all vet build test race fuzz-smoke farm-soak transport-matrix federation-matrix fleet-matrix shm-smoke fleet-smoke bench-json bench-gate bench-adaptive staticcheck govulncheck cosim-lint lint lint-fix-check ci
 
 all: build
 
@@ -63,6 +63,21 @@ federation-matrix:
 	$(GO) test -race -run 'TestFederation|TestRunDispatchesFederation|TestMultiBoard' ./internal/router/
 	$(GO) test -race -run 'TestFarmRunsFederatedSessions' ./internal/farm/
 	$(GO) test -race ./internal/cosim/federation/
+
+# fleet-matrix proves the multi-host control plane under the race
+# detector: M sessions placed across K in-process hosts bit-identical to
+# the single-farm baseline, a host kill mid-run re-placed to completion,
+# tenancy admission, and the spec-first farm API it all rides on.
+fleet-matrix:
+	$(GO) test -race ./internal/fleet/ ./internal/farm/
+	$(GO) test -race -run 'TestFarmAcceptance' .
+
+# fleet-smoke launches three cosim-farm processes in -farmd mode and
+# drives 24 sessions through cosim-farmctl, kill -9'ing one host mid-run
+# — the cross-process control-plane rendezvous the in-repo tests cannot
+# cover (see docs/FLEET.md).
+fleet-smoke:
+	./scripts/fleet_smoke.sh
 
 # shm-smoke launches cosim-hw and cosim-board as two real processes
 # joined by a -shm-path link file — the cross-process rendezvous of

@@ -25,6 +25,8 @@ import (
 
 	"repro/internal/cosim"
 	"repro/internal/experiments"
+	"repro/internal/farm"
+	"repro/internal/fleet"
 	"repro/internal/router"
 )
 
@@ -202,6 +204,64 @@ func measureFarm(runs int) (Result, error) {
 	return r, nil
 }
 
+// runFleetLoad drives sessions through a coordinator placing across
+// in-process fleet hosts (real control TCP, real farms) and returns the
+// aggregate wall time.
+func runFleetLoad(hosts, workers, sessions int) (time.Duration, error) {
+	c := fleet.NewCoordinator(fleet.Config{})
+	defer c.Close()
+	for i := 0; i < hosts; i++ {
+		f, err := farm.New(farm.WithWorkers(workers), farm.WithQueueDepth(sessions))
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		h, err := fleet.ListenHost(f, fleet.HostOptions{Name: fmt.Sprintf("bench-host-%d", i)})
+		if err != nil {
+			return 0, err
+		}
+		defer h.Close()
+		if _, err := c.Enroll(h.Addr()); err != nil {
+			return 0, err
+		}
+	}
+
+	errs := make(chan error, sessions)
+	start := time.Now()
+	for i := 0; i < sessions; i++ {
+		go func(i int) {
+			_, err := c.Submit(context.Background(), experiments.FarmSessionSpec(experiments.Options{}, i, i%2 == 1))
+			errs <- err
+		}(i)
+	}
+	for i := 0; i < sessions; i++ {
+		if err := <-errs; err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// measureFleet runs the distributed-placement load several times and
+// keeps the fastest aggregate.
+func measureFleet(runs int) (Result, error) {
+	const hosts, workers, sessions = 2, 2, 8
+	r := Result{Name: fmt.Sprintf("Fleet/Hosts=%d/N=%d", hosts, sessions), Runs: runs}
+	var best time.Duration
+	for i := 0; i < runs; i++ {
+		wall, err := runFleetLoad(hosts, workers, sessions)
+		if err != nil {
+			return r, err
+		}
+		if best == 0 || wall < best {
+			best = wall
+		}
+	}
+	r.NsPerOp = best.Nanoseconds()
+	r.SessionsPerSec = float64(sessions) / best.Seconds()
+	return r, nil
+}
+
 func main() {
 	out := flag.String("out", "BENCH_cosim.json", "output file (- for stdout)")
 	runs := flag.Int("runs", 3, "measured runs per benchmark (fastest kept)")
@@ -269,6 +329,22 @@ func main() {
 	// 4 workers; sessions/sec is the tracked throughput.
 	if *filter == "" || strings.Contains("Farm/N=8", *filter) {
 		fr, err := measureFarm(*runs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cosim-bench: %s: %v\n", fr.Name, err)
+			os.Exit(1)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "cosim-bench: %-24s %12d ns/op  %8.1f sessions/s\n",
+				fr.Name, fr.NsPerOp, fr.SessionsPerSec)
+		}
+		file.Benchmarks = append(file.Benchmarks, fr)
+	}
+
+	// Fleet point: the same session shape placed across 2 in-process
+	// hosts by the coordinator; sessions/sec tracks control-plane
+	// overhead on top of the farm number above.
+	if *filter == "" || strings.Contains("Fleet/Hosts=2/N=8", *filter) {
+		fr, err := measureFleet(*runs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cosim-bench: %s: %v\n", fr.Name, err)
 			os.Exit(1)

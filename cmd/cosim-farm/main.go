@@ -1,7 +1,7 @@
 // Command cosim-farm runs the multi-session co-simulation farm: one
-// shared TCP listener multiplexing every board's three channels by
-// session ID, a bounded worker pool with a backpressured submission
-// queue, and live aggregate metrics.
+// shared mux listener (TCP or Unix-domain) multiplexing every board's
+// three channels by session ID, a bounded worker pool with a
+// backpressured submission queue, and live aggregate metrics.
 //
 //	cosim-farm -sessions 8 -workers 4 -chaos-frac 0.5 -debug-addr :6060
 //
@@ -11,6 +11,12 @@
 // prints the aggregate throughput and exits nonzero if any session
 // failed. -hold keeps the farm and the debug server up after the run
 // until interrupted, for interactive /metrics scrapes.
+//
+// With -farmd ADDR the self-driving load generator is replaced by a
+// fleet host agent: the farm serves sessions submitted over the fleet
+// control protocol on ADDR (see docs/FLEET.md) until interrupted.
+//
+//	cosim-farm -farmd 127.0.0.1:7070 -name host-a -workers 4
 package main
 
 import (
@@ -21,31 +27,26 @@ import (
 	"os/signal"
 	"time"
 
-	"repro/internal/cosim"
 	"repro/internal/farm"
+	"repro/internal/fleet"
 	"repro/internal/obs"
-	"repro/internal/router"
 )
 
-func sessionConfig(reg *obs.Registry, idx, packets int, tsync uint64, chaos, adaptive, batch bool) router.RunConfig {
-	rc := router.DefaultRunConfig()
-	rc.Obs = reg
-	rc.Transport = router.TransportTCP
-	rc.TB.PacketsPerPort = packets / rc.TB.Ports
-	rc.TB.Seed = int64(idx + 1)
-	rc.TSync = tsync
-	rc.Adaptive = adaptive
-	rc.Batch = batch
-	if chaos {
-		sc := cosim.UniformScenario(int64(1000+idx), cosim.FaultProfile{
-			Drop: 0.01, Duplicate: 0.01, Corrupt: 0.01,
-		})
-		rc.Chaos = &sc
-		sess := cosim.DefaultSessionConfig()
-		sess.RetransmitTimeout = 10 * time.Millisecond
-		rc.Resilience = &sess
+// sessionSpec builds one session of the self-driving load as a
+// serializable spec — the same shape a fleet coordinator would submit.
+func sessionSpec(idx, packets int, tsync uint64, transport string, chaos, adaptive, batch bool) farm.SessionSpec {
+	spec := farm.SessionSpec{
+		Transport: transport,
+		TSync:     tsync,
+		Adaptive:  adaptive,
+		Batch:     batch,
+		TB:        &farm.TBSpec{PacketsPerPort: packets / 4, Seed: int64(idx + 1)},
 	}
-	return rc
+	if chaos {
+		spec.Chaos = &farm.ChaosSpec{Seed: int64(1000 + idx), Drop: 0.01, Duplicate: 0.01, Corrupt: 0.01}
+		spec.Resilience = &farm.ResilienceSpec{RetransmitTimeoutMS: 10}
+	}
+	return spec
 }
 
 func main() {
@@ -54,10 +55,14 @@ func main() {
 	queue := flag.Int("queue", 0, "submission-queue depth (0 = 2x workers)")
 	packets := flag.Int("n", 40, "packets injected per session")
 	tsync := flag.Uint64("tsync", 1000, "synchronization interval in cycles")
+	transport := flag.String("transport", "tcp", "session transport: inproc, tcp, uds, shm")
 	chaosFrac := flag.Float64("chaos-frac", 0.5, "fraction of sessions run under link chaos + resilience")
 	adaptive := flag.Bool("adaptive", false, "enable adaptive quantum elongation (lookahead negotiation)")
 	batch := flag.Bool("batch", false, "enable wire-frame coalescing (one MTBatch per channel flush)")
 	listen := flag.String("listen", "127.0.0.1:0", "mux listener address boards dial")
+	listenNetwork := flag.String("listen-network", "tcp", "mux listener network: tcp or unix")
+	farmd := flag.String("farmd", "", "run as a fleet host agent serving the control protocol on this address (disables the built-in load)")
+	name := flag.String("name", "", "host name reported to the fleet coordinator (-farmd mode; default the control address)")
 	debugAddr := flag.String("debug-addr", "", "serve live metrics and pprof on this address (e.g. :6060)")
 	hold := flag.Bool("hold", false, "keep the farm and debug server up after the run until interrupted")
 	verbose := flag.Bool("v", false, "print one line per completed session")
@@ -69,34 +74,41 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	healthzURL := ""
 	if *debugAddr != "" {
 		dbg, err := obs.Serve(*debugAddr, reg)
 		if err != nil {
 			fail("%v", err)
 		}
 		defer dbg.Close()
+		healthzURL = fmt.Sprintf("http://%s/healthz", dbg.Addr())
 		fmt.Fprintf(os.Stderr, "cosim-farm: debug server on http://%s (/metrics /metrics.json /healthz /debug/pprof)\n", dbg.Addr())
 	}
 
-	f, err := farm.New(farm.Config{
-		Workers:           *workers,
-		QueueDepth:        *queue,
-		ListenAddr:        *listen,
-		Obs:               reg,
-		PerSessionMetrics: true,
-	})
+	f, err := farm.New(
+		farm.WithWorkers(*workers),
+		farm.WithQueueDepth(*queue),
+		farm.WithListen(*listenNetwork, *listen),
+		farm.WithObs(reg),
+		farm.WithPerSessionMetrics(),
+	)
 	if err != nil {
 		fail("%v", err)
 	}
 	defer f.Close()
-	fmt.Fprintf(os.Stderr, "cosim-farm: mux listener on %s, %d workers\n", f.Addr(), *workers)
+	fmt.Fprintf(os.Stderr, "cosim-farm: mux listener on %s (%s), %d workers\n", f.Addr(), f.Network(), *workers)
+
+	if *farmd != "" {
+		runFarmd(f, reg, *farmd, *name, healthzURL, fail)
+		return
+	}
 
 	ctx := context.Background()
 	start := time.Now()
 	handles := make([]*farm.Session, 0, *sessions)
 	for i := 0; i < *sessions; i++ {
 		chaos := float64(i) < *chaosFrac*float64(*sessions)
-		s, err := f.Submit(ctx, sessionConfig(reg, i, *packets, *tsync, chaos, *adaptive, *batch))
+		s, err := f.Submit(ctx, sessionSpec(i, *packets, *tsync, *transport, chaos, *adaptive, *batch))
 		if err != nil {
 			fail("submit session %d: %v", i, err)
 		}
@@ -138,5 +150,31 @@ func main() {
 	}
 	if failed > 0 {
 		os.Exit(1)
+	}
+}
+
+// runFarmd serves the fleet control protocol until interrupted, then
+// drains the farm so in-flight sessions finish.
+func runFarmd(f *farm.Farm, reg *obs.Registry, addr, name, healthzURL string, fail func(string, ...any)) {
+	h, err := fleet.ListenHost(f, fleet.HostOptions{
+		Addr:       addr,
+		Name:       name,
+		HealthzURL: healthzURL,
+		Obs:        reg,
+	})
+	if err != nil {
+		fail("farmd: %v", err)
+	}
+	defer h.Close()
+	fmt.Fprintf(os.Stderr, "cosim-farm: farmd %q serving fleet control on %s\n", h.Name(), h.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Fprintln(os.Stderr, "cosim-farm: farmd interrupted; draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := f.Drain(drainCtx); err != nil {
+		fail("drain: %v", err)
 	}
 }

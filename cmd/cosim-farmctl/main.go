@@ -1,0 +1,308 @@
+// Command cosim-farmctl operates a fleet of cosim-farm hosts running in
+// -farmd mode (see docs/FLEET.md). It embeds the fleet coordinator: the
+// host list lives in a JSON fleet file, and every invocation enrolls
+// those hosts and runs one operation against them.
+//
+//	cosim-farmctl -fleet fleet.json enroll 127.0.0.1:7070 127.0.0.1:7071
+//	cosim-farmctl -fleet fleet.json status
+//	cosim-farmctl -fleet fleet.json -sessions 24 -tenant ci submit
+//	cosim-farmctl -fleet fleet.json drain
+//
+// Flags come before the command (standard library flag parsing stops at
+// the first positional argument).
+//
+// submit drives -sessions sessions through the fleet with least-loaded
+// placement, per-tenant admission (-max-in-flight, -rate), and
+// automatic re-placement of sessions lost to a host failure, then
+// prints the aggregate throughput and exits nonzero if any session
+// failed.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/farm"
+	"repro/internal/fleet"
+	"repro/internal/obs"
+)
+
+// fleetFile is the on-disk host list shared between invocations.
+type fleetFile struct {
+	Hosts []string `json:"hosts"`
+}
+
+func loadFleet(path string) (fleetFile, error) {
+	var ff fleetFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return ff, nil
+		}
+		return ff, err
+	}
+	return ff, json.Unmarshal(data, &ff)
+}
+
+func saveFleet(path string, ff fleetFile) error {
+	data, err := json.MarshalIndent(ff, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func main() {
+	fleetPath := flag.String("fleet", "fleet.json", "fleet file holding the enrolled host addresses")
+	hosts := flag.String("hosts", "", "comma-separated host control addresses (overrides the fleet file)")
+	sessions := flag.Int("sessions", 8, "submit: sessions to drive through the fleet")
+	concurrency := flag.Int("concurrency", 8, "submit: concurrent submissions")
+	packets := flag.Int("n", 40, "submit: packets injected per session")
+	tsync := flag.Uint64("tsync", 1000, "submit: synchronization interval in cycles")
+	transport := flag.String("transport", "tcp", "submit: session transport: inproc, tcp, uds, shm")
+	chaosFrac := flag.Float64("chaos-frac", 0.5, "submit: fraction of sessions run under link chaos + resilience")
+	specPath := flag.String("spec", "", "submit: JSON SessionSpec file to submit instead of the built-in workload")
+	tenant := flag.String("tenant", "", "submit: tenant name for admission control")
+	maxInFlight := flag.Int("max-in-flight", 0, "submit: tenant quota — max concurrently placed sessions (0 = unlimited)")
+	rate := flag.Float64("rate", 0, "submit: tenant rate limit in sessions/sec (0 = unlimited)")
+	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "health-probe interval (0 disables the loop)")
+	verbose := flag.Bool("v", false, "print one line per completed session")
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "cosim-farmctl: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if flag.NArg() < 1 {
+		fail("usage: cosim-farmctl [flags] enroll|status|submit|drain [args]")
+	}
+	cmd := flag.Arg(0)
+
+	ff, err := loadFleet(*fleetPath)
+	if err != nil {
+		fail("fleet file %s: %v", *fleetPath, err)
+	}
+	if *hosts != "" {
+		ff.Hosts = splitComma(*hosts)
+	}
+
+	if cmd == "enroll" {
+		if flag.NArg() < 2 {
+			fail("enroll: need at least one host control address")
+		}
+		ff.Hosts = appendUnique(ff.Hosts, flag.Args()[1:])
+	}
+
+	cfg := fleet.Config{HeartbeatInterval: *heartbeat}
+	if *tenant != "" || *maxInFlight > 0 || *rate > 0 {
+		cfg.Tenants = map[string]fleet.TenantPolicy{
+			*tenant: {MaxInFlight: *maxInFlight, SessionsPerSec: *rate},
+		}
+	}
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	c := fleet.NewCoordinator(cfg)
+	defer c.Close()
+
+	if len(ff.Hosts) == 0 {
+		fail("%s: no hosts; run enroll first or pass -hosts", cmd)
+	}
+	enrolled := 0
+	for _, addr := range ff.Hosts {
+		info, err := c.Enroll(addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cosim-farmctl: %v\n", err)
+			continue
+		}
+		enrolled++
+		if *verbose || cmd == "enroll" {
+			fmt.Printf("enrolled %s at %s: farm %s (%s), %d workers, queue %d\n",
+				info.Name, addr, info.FarmAddr, info.FarmNetwork, info.Workers, info.Queue)
+		}
+	}
+	if enrolled == 0 {
+		fail("%s: no host answered the hello handshake", cmd)
+	}
+
+	switch cmd {
+	case "enroll":
+		if err := saveFleet(*fleetPath, ff); err != nil {
+			fail("writing %s: %v", *fleetPath, err)
+		}
+		fmt.Printf("fleet file %s: %d hosts\n", *fleetPath, len(ff.Hosts))
+
+	case "status":
+		for _, st := range c.Status() {
+			state := "up"
+			if st.Down {
+				state = "DOWN"
+			}
+			line := fmt.Sprintf("%-16s %-22s %-4s workers=%d queue=%d", st.Info.Name, st.Addr, state, st.Info.Workers, st.Info.Queue)
+			if st.Health != nil {
+				f := st.Health.Farm
+				line += fmt.Sprintf(" active=%d queued=%d completed=%d failed=%d", f.Active, f.Queued, f.Completed, f.Failed)
+				if st.Health.Status != "ok" {
+					line += " status=" + st.Health.Status
+				}
+			}
+			fmt.Println(line)
+		}
+
+	case "drain":
+		if err := c.DrainAll(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Println("fleet drained")
+
+	case "submit":
+		runSubmit(c, submitOptions{
+			sessions:    *sessions,
+			concurrency: *concurrency,
+			packets:     *packets,
+			tsync:       *tsync,
+			transport:   *transport,
+			chaosFrac:   *chaosFrac,
+			specPath:    *specPath,
+			tenant:      *tenant,
+			verbose:     *verbose,
+		}, fail)
+
+	default:
+		fail("unknown command %q (want enroll, status, submit, or drain)", cmd)
+	}
+}
+
+type submitOptions struct {
+	sessions    int
+	concurrency int
+	packets     int
+	tsync       uint64
+	transport   string
+	chaosFrac   float64
+	specPath    string
+	tenant      string
+	verbose     bool
+}
+
+// specFor builds the idx'th session of the submit workload: the spec
+// file verbatim when one was given (seed varied per session so the
+// fleet does distinct work), else the same load shape cosim-farm
+// drives.
+func specFor(opt submitOptions, fromFile *farm.SessionSpec, idx int) farm.SessionSpec {
+	if fromFile != nil {
+		spec := *fromFile
+		if spec.TB != nil {
+			tb := *spec.TB
+			tb.Seed += int64(idx)
+			spec.TB = &tb
+		}
+		spec.Tenant = opt.tenant
+		return spec
+	}
+	spec := farm.SessionSpec{
+		Tenant:    opt.tenant,
+		Transport: opt.transport,
+		TSync:     opt.tsync,
+		TB:        &farm.TBSpec{PacketsPerPort: opt.packets / 4, Seed: int64(idx + 1)},
+	}
+	if float64(idx) < opt.chaosFrac*float64(opt.sessions) {
+		spec.Chaos = &farm.ChaosSpec{Seed: int64(1000 + idx), Drop: 0.01, Duplicate: 0.01, Corrupt: 0.01}
+		spec.Resilience = &farm.ResilienceSpec{RetransmitTimeoutMS: 10}
+	}
+	return spec
+}
+
+func runSubmit(c *fleet.Coordinator, opt submitOptions, fail func(string, ...any)) {
+	var fromFile *farm.SessionSpec
+	if opt.specPath != "" {
+		data, err := os.ReadFile(opt.specPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		spec, err := farm.ParseSpec(data)
+		if err != nil {
+			fail("spec %s: %v", opt.specPath, err)
+		}
+		fromFile = &spec
+	}
+
+	type done struct {
+		idx int
+		res fleet.SessionResult
+		err error
+	}
+	work := make(chan int)
+	results := make(chan done)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				res, err := c.Submit(context.Background(), specFor(opt, fromFile, idx))
+				results <- done{idx: idx, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < opt.sessions; i++ {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+		close(results)
+	}()
+
+	start := time.Now()
+	failed := 0
+	for d := range results {
+		if d.err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "cosim-farmctl: session %d failed: %v\n", d.idx, d.err)
+			continue
+		}
+		if opt.verbose {
+			fp := d.res.Fingerprint
+			fmt.Printf("session %d on %s: N=%d acc=%.1f%% cycles=%d ticks=%d syncs=%d wall=%.0fms\n",
+				d.idx, d.res.Host, d.res.Generated, 100*d.res.Accuracy,
+				fp.BoardCycles, fp.BoardSWTicks, fp.SyncEvents, d.res.WallMS)
+		}
+	}
+	wall := time.Since(start)
+	ok := opt.sessions - failed
+	fmt.Printf("cosim-farmctl: %d/%d sessions completed in %v (%.1f sessions/s)\n",
+		ok, opt.sessions, wall.Round(time.Millisecond), float64(ok)/wall.Seconds())
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func splitComma(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func appendUnique(have, add []string) []string {
+	seen := make(map[string]bool, len(have))
+	for _, h := range have {
+		seen[h] = true
+	}
+	for _, a := range add {
+		if !seen[a] {
+			have = append(have, a)
+			seen[a] = true
+		}
+	}
+	return have
+}

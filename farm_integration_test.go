@@ -10,7 +10,6 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/cosim"
 	"repro/internal/farm"
 	"repro/internal/obs"
 	"repro/internal/router"
@@ -48,27 +47,22 @@ func scrapeFarm(t *testing.T, url string) (active, completed uint64) {
 	return parse(farmActiveRe), parse(farmCompletedRe)
 }
 
-// farmAcceptanceConfig is one session of the acceptance workload: TCP
+// farmAcceptanceSpec is one session of the acceptance workload: TCP
 // through the shared mux listener, an emulated link latency to stretch
 // wall time (so mid-run scrapes land), and chaos+resilience on every
 // second session.
-func farmAcceptanceConfig(idx int) router.RunConfig {
-	rc := router.DefaultRunConfig()
-	rc.Transport = router.TransportTCP
-	rc.TSync = 500
-	rc.LinkDelay = 200 * time.Microsecond
-	rc.TB.PacketsPerPort = 48 / rc.TB.Ports
-	rc.TB.Seed = int64(idx + 1)
-	if idx%2 == 1 {
-		sc := cosim.UniformScenario(int64(2000+idx), cosim.FaultProfile{
-			Drop: 0.01, Duplicate: 0.01, Corrupt: 0.01,
-		})
-		rc.Chaos = &sc
-		sess := cosim.DefaultSessionConfig()
-		sess.RetransmitTimeout = 10 * time.Millisecond
-		rc.Resilience = &sess
+func farmAcceptanceSpec(idx int) farm.SessionSpec {
+	spec := farm.SessionSpec{
+		Transport:   "tcp",
+		TSync:       500,
+		LinkDelayUS: 200,
+		TB:          &farm.TBSpec{PacketsPerPort: 12, Seed: int64(idx + 1)},
 	}
-	return rc
+	if idx%2 == 1 {
+		spec.Chaos = &farm.ChaosSpec{Seed: int64(2000 + idx), Drop: 0.01, Duplicate: 0.01, Corrupt: 0.01}
+		spec.Resilience = &farm.ResilienceSpec{RetransmitTimeoutMS: 10}
+	}
+	return spec
 }
 
 // virtualTime is the simulated-time fingerprint of a run; two runs with
@@ -93,10 +87,15 @@ func virtualTimeOf(res router.RunResult) virtualTime {
 func TestFarmAcceptance(t *testing.T) {
 	const sessions = 8
 
-	// Solo reference runs, one per config.
+	// Solo reference runs, one per spec, through the same lowering the
+	// farm applies at admission.
 	want := make([]virtualTime, sessions)
 	for i := range want {
-		res, err := router.Run(context.Background(), router.Transports{}, router.WithConfig(farmAcceptanceConfig(i)))
+		rc, err := farmAcceptanceSpec(i).RunConfig()
+		if err != nil {
+			t.Fatalf("lowering spec %d: %v", i, err)
+		}
+		res, err := router.Run(context.Background(), router.Transports{}, router.WithConfig(rc))
 		if err != nil {
 			t.Fatalf("solo run %d: %v", i, err)
 		}
@@ -110,7 +109,7 @@ func TestFarmAcceptance(t *testing.T) {
 	srv := httptest.NewServer(obs.Handler(reg))
 	defer srv.Close()
 
-	f, err := farm.New(farm.Config{Workers: 4, QueueDepth: sessions, Obs: reg})
+	f, err := farm.New(farm.WithWorkers(4), farm.WithQueueDepth(sessions), farm.WithObs(reg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +119,7 @@ func TestFarmAcceptance(t *testing.T) {
 	defer cancel()
 	handles := make([]*farm.Session, sessions)
 	for i := range handles {
-		s, err := f.Submit(ctx, farmAcceptanceConfig(i))
+		s, err := f.Submit(ctx, farmAcceptanceSpec(i))
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}

@@ -5,9 +5,7 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/cosim"
 	"repro/internal/farm"
-	"repro/internal/router"
 )
 
 // FarmLoadResult aggregates one multi-session farm load.
@@ -25,35 +23,32 @@ type FarmLoadResult struct {
 	SyncEvents uint64
 }
 
-// FarmSessionConfig builds the load generator's per-session workload:
-// every session dials the shared mux listener over TCP, and sessions
-// flagged chaotic run under seeded link faults healed by the resilience
-// layer.
-func FarmSessionConfig(opt Options, idx int, chaos bool) router.RunConfig {
-	rc := opt.runConfig()
-	rc.Transport = router.TransportTCP
-	rc.TB.PacketsPerPort = 10
+// FarmSessionSpec builds the load generator's per-session workload as a
+// serializable spec: every session dials the shared mux listener over
+// TCP, and sessions flagged chaotic run under seeded link faults healed
+// by the resilience layer. The sweep-wide obs registry rides on the
+// farm itself (farm sessions inherit the farm's registry), not on the
+// spec.
+func FarmSessionSpec(opt Options, idx int, chaos bool) farm.SessionSpec {
+	spec := farm.SessionSpec{
+		Transport: "tcp",
+		TB:        &farm.TBSpec{PacketsPerPort: 10, Seed: int64(idx + 1)},
+	}
 	if opt.Quick {
-		rc.TB.PacketsPerPort = 5
+		spec.TB.PacketsPerPort = 5
 	}
-	rc.TB.Seed = int64(idx + 1)
 	if chaos {
-		sc := cosim.UniformScenario(int64(1000+idx), cosim.FaultProfile{
-			Drop: 0.01, Duplicate: 0.01, Corrupt: 0.01,
-		})
-		rc.Chaos = &sc
-		sess := cosim.DefaultSessionConfig()
-		sess.RetransmitTimeout = 10 * time.Millisecond
-		rc.Resilience = &sess
+		spec.Chaos = &farm.ChaosSpec{Seed: int64(1000 + idx), Drop: 0.01, Duplicate: 0.01, Corrupt: 0.01}
+		spec.Resilience = &farm.ResilienceSpec{RetransmitTimeoutMS: 10}
 	}
-	return rc
+	return spec
 }
 
 // RunFarmLoad drives `sessions` concurrent co-simulations — chaos plus
 // resilience on every second one — through one farm of `workers` workers
 // and reports the aggregate throughput.
 func RunFarmLoad(opt Options, sessions, workers int) (FarmLoadResult, error) {
-	f, err := farm.New(farm.Config{Workers: workers, QueueDepth: sessions, Obs: opt.Obs})
+	f, err := farm.New(farm.WithWorkers(workers), farm.WithQueueDepth(sessions), farm.WithObs(opt.Obs))
 	if err != nil {
 		return FarmLoadResult{}, err
 	}
@@ -62,7 +57,7 @@ func RunFarmLoad(opt Options, sessions, workers int) (FarmLoadResult, error) {
 	start := time.Now()
 	handles := make([]*farm.Session, 0, sessions)
 	for i := 0; i < sessions; i++ {
-		s, err := f.Submit(context.Background(), FarmSessionConfig(opt, i, i%2 == 1))
+		s, err := f.Submit(context.Background(), FarmSessionSpec(opt, i, i%2 == 1))
 		if err != nil {
 			return FarmLoadResult{}, fmt.Errorf("farm load: submit %d: %w", i, err)
 		}

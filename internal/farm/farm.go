@@ -197,9 +197,14 @@ type Farm struct {
 	mFramesInjured *obs.Counter
 }
 
-// New starts a farm: the mux listener and cfg.Workers workers come up
-// immediately. Call Close (or Drain, then Close) when done with it.
-func New(cfg Config) (*Farm, error) {
+// New starts a farm configured by applying opts to the zero Config: the
+// mux listener and the workers come up immediately. Call Close (or
+// Drain, then Close) when done with it.
+func New(opts ...Option) (*Farm, error) {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
 	cfg = cfg.withDefaults()
 	var sockDir string
 	if cfg.ListenNetwork == "unix" && cfg.ListenAddr == "" {
@@ -238,6 +243,42 @@ func New(cfg Config) (*Farm, error) {
 // Addr returns the mux listener's address — where external boards dial
 // in with cosim.DialTCPSession.
 func (f *Farm) Addr() string { return f.ln.Addr() }
+
+// Network returns the front door's stream network ("tcp" or "unix").
+func (f *Farm) Network() string { return f.ln.Network() }
+
+// Snapshot is a point-in-time view of the farm's aggregate state — what
+// a fleet host agent reports in its health heartbeats and cosim-farmctl
+// prints for `status`.
+type Snapshot struct {
+	Workers       int    `json:"workers"`
+	QueueCapacity int    `json:"queue_capacity"`
+	Active        int64  `json:"active"`
+	Queued        int    `json:"queued"`
+	Completed     uint64 `json:"completed"`
+	Failed        uint64 `json:"failed"`
+	Rejected      uint64 `json:"rejected"`
+	Draining      bool   `json:"draining"`
+	Closed        bool   `json:"closed"`
+}
+
+// Snapshot returns the farm's current aggregate counters.
+func (f *Farm) Snapshot() Snapshot {
+	f.mu.Lock()
+	draining, closed := f.draining, f.closed
+	f.mu.Unlock()
+	return Snapshot{
+		Workers:       f.cfg.Workers,
+		QueueCapacity: f.cfg.QueueDepth,
+		Active:        f.active.Load(),
+		Queued:        len(f.queue),
+		Completed:     f.completed.Load(),
+		Failed:        f.failed.Load(),
+		Rejected:      f.rejected.Load(),
+		Draining:      draining,
+		Closed:        closed,
+	}
+}
 
 // registerMetrics publishes the aggregate farm instruments. Counters are
 // registered eagerly so a scrape sees them (at zero) from the first
@@ -303,10 +344,32 @@ func (f *Farm) admit(rc router.RunConfig) error {
 	return nil
 }
 
-// Submit queues one co-simulation for execution, blocking while the
-// queue is full (backpressure) until space frees, ctx ends, or the farm
-// shuts down.
-func (f *Farm) Submit(ctx context.Context, rc router.RunConfig) (*Session, error) {
+// Submit queues one co-simulation described by a serializable
+// SessionSpec, blocking while the queue is full (backpressure) until
+// space frees, ctx ends, or the farm shuts down. The spec is lowered
+// and validated first; an invalid spec is rejected without queueing.
+func (f *Farm) Submit(ctx context.Context, spec SessionSpec) (*Session, error) {
+	rc, err := spec.RunConfig()
+	if err != nil {
+		return nil, err
+	}
+	return f.SubmitConfig(ctx, rc)
+}
+
+// TrySubmit is Submit without the wait: a full queue returns
+// ErrQueueFull immediately.
+func (f *Farm) TrySubmit(spec SessionSpec) (*Session, error) {
+	rc, err := spec.RunConfig()
+	if err != nil {
+		return nil, err
+	}
+	return f.TrySubmitConfig(rc)
+}
+
+// SubmitConfig queues one co-simulation from a raw router.RunConfig —
+// the escape hatch for sessions a SessionSpec cannot express (federated
+// topologies, trace writers, caller-owned registries). Prefer Submit.
+func (f *Farm) SubmitConfig(ctx context.Context, rc router.RunConfig) (*Session, error) {
 	if err := f.admit(rc); err != nil {
 		return nil, err
 	}
@@ -326,9 +389,9 @@ func (f *Farm) Submit(ctx context.Context, rc router.RunConfig) (*Session, error
 	}
 }
 
-// TrySubmit is Submit without the wait: a full queue returns
-// ErrQueueFull immediately.
-func (f *Farm) TrySubmit(rc router.RunConfig) (*Session, error) {
+// TrySubmitConfig is SubmitConfig without the wait: a full queue
+// returns ErrQueueFull immediately.
+func (f *Farm) TrySubmitConfig(rc router.RunConfig) (*Session, error) {
 	if err := f.admit(rc); err != nil {
 		return nil, err
 	}

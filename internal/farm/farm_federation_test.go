@@ -8,11 +8,13 @@ import (
 )
 
 // TestFarmRunsFederatedSessions: a RunConfig carrying a federation
-// topology flows through Submit like any other session — a single-board
-// wire federation rides the farm's mux link, a multi-board federation
-// wires its own links — and both match the equivalent direct run.
+// topology flows through SubmitConfig (the raw-config escape hatch —
+// federation topologies are deliberately not expressible as a
+// SessionSpec) like any other session — a single-board wire federation
+// rides the farm's mux link, a multi-board federation wires its own
+// links — and both match the equivalent direct run.
 func TestFarmRunsFederatedSessions(t *testing.T) {
-	f, err := New(Config{Workers: 2})
+	f, err := New(WithWorkers(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,14 +22,15 @@ func TestFarmRunsFederatedSessions(t *testing.T) {
 
 	// Single wire board over the farm's TCP front door: the degenerate
 	// K=2 federation must match the solo pairwise run bit-for-bit.
-	rc := quickConfig(0)
-	rc.Transport = router.TransportTCP
-	solo, err := router.Run(context.Background(), router.Transports{}, router.WithConfig(rc))
+	spec := quickSpec(0)
+	spec.Transport = "tcp"
+	solo := soloRun(t, spec)
+	rc, err := spec.RunConfig()
 	if err != nil {
-		t.Fatalf("solo: %v", err)
+		t.Fatal(err)
 	}
 	rc.Federation = &router.FederationConfig{Boards: 1}
-	s, err := f.Submit(context.Background(), rc)
+	s, err := f.SubmitConfig(context.Background(), rc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,9 +44,12 @@ func TestFarmRunsFederatedSessions(t *testing.T) {
 
 	// A two-board federation cannot ride the single mux link; the farm
 	// must hand it a zero Transports value and still complete it.
-	rc = quickConfig(1)
+	rc, err = quickSpec(1).RunConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
 	rc.Federation = &router.FederationConfig{Boards: 2}
-	s, err = f.Submit(context.Background(), rc)
+	s, err = f.SubmitConfig(context.Background(), rc)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,56 +24,68 @@ func fingerprint(res router.RunResult) outcome {
 	return outcome{r: res.Router, cycles: res.BoardCycles, ticks: res.BoardSWTicks}
 }
 
-// quickConfig builds a small, fast workload variant; idx decorrelates
-// the traffic so different sessions do genuinely different work.
-func quickConfig(idx int) router.RunConfig {
-	rc := router.DefaultRunConfig()
-	rc.TB.PacketsPerPort = 2 + idx%3
-	rc.TB.Period = uint64(400 + 100*(idx%4))
-	rc.TB.Seed = int64(idx + 1)
-	rc.TSync = uint64(200 + 150*(idx%3))
-	return rc
+// quickSpec builds a small, fast workload variant as a serializable
+// spec; idx decorrelates the traffic so different sessions do genuinely
+// different work.
+func quickSpec(idx int) SessionSpec {
+	return SessionSpec{
+		TSync: uint64(200 + 150*(idx%3)),
+		TB: &TBSpec{
+			PacketsPerPort: 2 + idx%3,
+			Period:         uint64(400 + 100*(idx%4)),
+			Seed:           int64(idx + 1),
+		},
+	}
 }
 
-func withChaos(rc router.RunConfig, seed int64) router.RunConfig {
-	sc := cosim.UniformScenario(seed, cosim.FaultProfile{
-		Drop: 0.01, Duplicate: 0.01, Reorder: 0.01, Corrupt: 0.01,
-	})
-	rc.Chaos = &sc
-	sess := cosim.DefaultSessionConfig()
-	sess.RetransmitTimeout = 10 * time.Millisecond
-	rc.Resilience = &sess
-	return rc
+func withChaos(s SessionSpec, seed int64) SessionSpec {
+	s.Chaos = &ChaosSpec{Seed: seed, Drop: 0.01, Duplicate: 0.01, Reorder: 0.01, Corrupt: 0.01}
+	s.Resilience = &ResilienceSpec{RetransmitTimeoutMS: 10}
+	return s
+}
+
+// soloRun lowers a spec exactly as Submit would and executes it through
+// the plain router.Run entry point — the single-session reference every
+// farm test compares against.
+func soloRun(t *testing.T, spec SessionSpec) router.RunResult {
+	t.Helper()
+	rc, err := spec.RunConfig()
+	if err != nil {
+		t.Fatalf("lowering spec: %v", err)
+	}
+	res, err := router.Run(context.Background(), router.Transports{}, router.WithConfig(rc))
+	if err != nil {
+		t.Fatalf("solo run: %v", err)
+	}
+	if res.Conservation != nil {
+		t.Fatalf("solo run: %v", res.Conservation)
+	}
+	return res
 }
 
 // TestFarmSessionsMatchSolo is the farm's headline property: N sessions
 // with mixed transports, half of them under chaos+resilience, all
 // running concurrently on one farm, each produce virtual-time results
-// bit-identical to the equivalent solo router.Run.
+// bit-identical to the equivalent solo router.Run — submitted as
+// serializable SessionSpecs, so the same property holds for specs that
+// crossed a wire.
 func TestFarmSessionsMatchSolo(t *testing.T) {
 	const n = 8
-	cfgs := make([]router.RunConfig, n)
+	specs := make([]SessionSpec, n)
 	want := make([]outcome, n)
-	for i := range cfgs {
-		rc := quickConfig(i)
+	for i := range specs {
+		s := quickSpec(i)
 		if i%2 == 0 {
-			rc.Transport = router.TransportTCP
+			s.Transport = "tcp"
 		}
 		if i%2 == 1 {
-			rc = withChaos(rc, int64(1000+i))
+			s = withChaos(s, int64(1000+i))
 		}
-		cfgs[i] = rc
-		res, err := router.Run(context.Background(), router.Transports{}, router.WithConfig(rc))
-		if err != nil {
-			t.Fatalf("solo run %d: %v", i, err)
-		}
-		if res.Conservation != nil {
-			t.Fatalf("solo run %d: %v", i, res.Conservation)
-		}
-		want[i] = fingerprint(res)
+		specs[i] = s
+		want[i] = fingerprint(soloRun(t, s))
 	}
 
-	f, err := New(Config{Workers: 4, QueueDepth: n, Obs: obs.NewRegistry()})
+	f, err := New(WithWorkers(4), WithQueueDepth(n), WithObs(obs.NewRegistry()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,12 +94,12 @@ func TestFarmSessionsMatchSolo(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 	sessions := make([]*Session, n)
-	for i, rc := range cfgs {
-		s, err := f.Submit(ctx, rc)
+	for i, s := range specs {
+		sess, err := f.Submit(ctx, s)
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
-		sessions[i] = s
+		sessions[i] = sess
 	}
 	for i, s := range sessions {
 		res, err := s.Wait(ctx)
@@ -106,15 +118,14 @@ func TestFarmSessionsMatchSolo(t *testing.T) {
 	}
 }
 
-// slowConfig is a run stretched by an emulated link latency, so a worker
+// slowSpec is a run stretched by an emulated link latency, so a worker
 // stays busy long enough for queue assertions to be deterministic.
-func slowConfig() router.RunConfig {
-	rc := router.DefaultRunConfig()
-	rc.TB.PacketsPerPort = 4
-	rc.TB.Period = 500
-	rc.TSync = 200
-	rc.LinkDelay = 500 * time.Microsecond
-	return rc
+func slowSpec() SessionSpec {
+	return SessionSpec{
+		TSync:       200,
+		LinkDelayUS: 500,
+		TB:          &TBSpec{PacketsPerPort: 4, Period: 500},
+	}
 }
 
 func waitState(t *testing.T, s *Session, want SessionState) {
@@ -131,29 +142,29 @@ func waitState(t *testing.T, s *Session, want SessionState) {
 // TestFarmQueueBackpressure proves a full queue pushes back: TrySubmit
 // fails fast with ErrQueueFull and Submit honours its context.
 func TestFarmQueueBackpressure(t *testing.T) {
-	f, err := New(Config{Workers: 1, QueueDepth: 1, Obs: obs.NewRegistry()})
+	f, err := New(WithWorkers(1), WithQueueDepth(1), WithObs(obs.NewRegistry()))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer f.Close()
 	ctx := context.Background()
 
-	running, err := f.Submit(ctx, slowConfig())
+	running, err := f.Submit(ctx, slowSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitState(t, running, StateRunning) // the sole worker is now busy
 
-	queued, err := f.Submit(ctx, slowConfig())
+	queued, err := f.Submit(ctx, slowSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Queue (depth 1) holds `queued`; admission must now push back.
-	if _, err := f.TrySubmit(slowConfig()); !errors.Is(err, ErrQueueFull) {
+	if _, err := f.TrySubmit(slowSpec()); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("TrySubmit on full queue: got %v, want ErrQueueFull", err)
 	}
 	shortCtx, cancel := context.WithTimeout(ctx, 10*time.Millisecond)
-	if _, err := f.Submit(shortCtx, slowConfig()); !errors.Is(err, context.DeadlineExceeded) {
+	if _, err := f.Submit(shortCtx, slowSpec()); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("Submit with expiring ctx: got %v", err)
 	}
 	cancel()
@@ -168,7 +179,7 @@ func TestFarmQueueBackpressure(t *testing.T) {
 // TestFarmDrainDuringActive proves Drain lets every accepted session
 // finish cleanly while refusing new work.
 func TestFarmDrainDuringActive(t *testing.T) {
-	f, err := New(Config{Workers: 2, QueueDepth: 4})
+	f, err := New(WithWorkers(2), WithQueueDepth(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +188,7 @@ func TestFarmDrainDuringActive(t *testing.T) {
 
 	var sessions []*Session
 	for i := 0; i < 4; i++ {
-		s, err := f.Submit(ctx, slowConfig())
+		s, err := f.Submit(ctx, slowSpec())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -198,7 +209,10 @@ func TestFarmDrainDuringActive(t *testing.T) {
 			t.Fatalf("session %d failed during drain: %v", i, err)
 		}
 	}
-	if _, err := f.Submit(ctx, slowConfig()); !errors.Is(err, ErrDraining) {
+	if !f.Snapshot().Draining {
+		t.Error("Snapshot does not report draining after Drain")
+	}
+	if _, err := f.Submit(ctx, slowSpec()); !errors.Is(err, ErrDraining) {
 		t.Fatalf("Submit after Drain: got %v, want ErrDraining", err)
 	}
 }
@@ -206,16 +220,16 @@ func TestFarmDrainDuringActive(t *testing.T) {
 // TestFarmCancelSession proves one session can be cancelled mid-run
 // without disturbing the farm.
 func TestFarmCancelSession(t *testing.T) {
-	f, err := New(Config{Workers: 2, QueueDepth: 2})
+	f, err := New(WithWorkers(2), WithQueueDepth(2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer f.Close()
 	ctx := context.Background()
 
-	rc := slowConfig()
-	rc.Transport = router.TransportTCP
-	victim, err := f.Submit(ctx, rc)
+	spec := slowSpec()
+	spec.Transport = "tcp"
+	victim, err := f.Submit(ctx, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +242,7 @@ func TestFarmCancelSession(t *testing.T) {
 	}
 
 	// The farm keeps serving.
-	next, err := f.Submit(ctx, quickConfig(0))
+	next, err := f.Submit(ctx, quickSpec(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,18 +254,18 @@ func TestFarmCancelSession(t *testing.T) {
 // TestFarmCloseFailsQueued proves Close terminates queued sessions with
 // ErrClosed instead of leaving their waiters hanging.
 func TestFarmCloseFailsQueued(t *testing.T) {
-	f, err := New(Config{Workers: 1, QueueDepth: 2})
+	f, err := New(WithWorkers(1), WithQueueDepth(2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx := context.Background()
 
-	running, err := f.Submit(ctx, slowConfig())
+	running, err := f.Submit(ctx, slowSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitState(t, running, StateRunning)
-	queued, err := f.Submit(ctx, slowConfig())
+	queued, err := f.Submit(ctx, slowSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,22 +279,38 @@ func TestFarmCloseFailsQueued(t *testing.T) {
 	if _, err := running.Result(); err == nil {
 		t.Log("running session finished before the teardown reached it (fine)")
 	}
-	if _, err := f.Submit(ctx, quickConfig(0)); !errors.Is(err, ErrClosed) {
+	if _, err := f.Submit(ctx, quickSpec(0)); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Submit after Close: got %v, want ErrClosed", err)
 	}
 }
 
-// TestFarmRejectsInvalidConfig proves admission runs RunConfig.Validate.
-func TestFarmRejectsInvalidConfig(t *testing.T) {
-	f, err := New(Config{})
+// TestFarmRejectsInvalidSpec proves admission validates before queueing:
+// an incoherent spec fails at Submit, and the raw-config escape hatch
+// runs RunConfig.Validate the same way.
+func TestFarmRejectsInvalidSpec(t *testing.T) {
+	f, err := New()
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer f.Close()
+
+	spec := quickSpec(0)
+	spec.Chaos = &ChaosSpec{Seed: 1, Drop: 0.5} // chaos without resilience
+	if _, err := f.Submit(context.Background(), spec); err == nil ||
+		!strings.Contains(err.Error(), "Chaos without Resilience") {
+		t.Fatalf("farm admitted an incoherent spec: %v", err)
+	}
+	spec.Chaos = nil
+	spec.Transport = "carrier-pigeon"
+	if _, err := f.Submit(context.Background(), spec); err == nil ||
+		!strings.Contains(err.Error(), "unknown transport") {
+		t.Fatalf("farm admitted an unknown transport: %v", err)
+	}
+
 	rc := router.DefaultRunConfig()
 	sc := cosim.UniformScenario(1, cosim.FaultProfile{Drop: 0.5})
-	rc.Chaos = &sc // chaos without resilience
-	if _, err := f.Submit(context.Background(), rc); err == nil ||
+	rc.Chaos = &sc // chaos without resilience, raw-config path
+	if _, err := f.SubmitConfig(context.Background(), rc); err == nil ||
 		!strings.Contains(err.Error(), "Chaos without Resilience") {
 		t.Fatalf("farm admitted an incoherent config: %v", err)
 	}

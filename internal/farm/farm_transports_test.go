@@ -14,34 +14,33 @@ import (
 // sessions do over a tcp listener, with bit-identical virtual time.
 func TestFarmUnixFrontDoor(t *testing.T) {
 	const n = 4
-	cfgs := make([]router.RunConfig, n)
+	specs := make([]SessionSpec, n)
 	want := make([]outcome, n)
-	for i := range cfgs {
-		rc := quickConfig(i)
-		rc.Transport = router.TransportUDS
-		cfgs[i] = rc
-		res, err := router.Run(context.Background(), router.Transports{}, router.WithConfig(rc))
-		if err != nil {
-			t.Fatalf("solo run %d: %v", i, err)
-		}
-		want[i] = fingerprint(res)
+	for i := range specs {
+		s := quickSpec(i)
+		s.Transport = "uds"
+		specs[i] = s
+		want[i] = fingerprint(soloRun(t, s))
 	}
 
-	f, err := New(Config{Workers: 2, QueueDepth: n, ListenNetwork: "unix"})
+	f, err := New(WithWorkers(2), WithQueueDepth(n), WithListen("unix", ""))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer f.Close()
+	if f.Network() != "unix" {
+		t.Fatalf("front door network %q, want unix", f.Network())
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 	sessions := make([]*Session, n)
-	for i, rc := range cfgs {
-		s, err := f.Submit(ctx, rc)
+	for i, s := range specs {
+		sess, err := f.Submit(ctx, s)
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
-		sessions[i] = s
+		sessions[i] = sess
 	}
 	for i, s := range sessions {
 		res, err := s.Wait(ctx)
@@ -65,7 +64,7 @@ func TestFarmShmSessions(t *testing.T) {
 		t.Skip("shm transport unsupported on this platform")
 	}
 	const n = 4
-	f, err := New(Config{Workers: 2, QueueDepth: n})
+	f, err := New(WithWorkers(2), WithQueueDepth(n))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,13 +73,10 @@ func TestFarmShmSessions(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 	for i := 0; i < n; i++ {
-		rc := quickConfig(i)
-		rc.Transport = router.TransportShm
-		want, err := router.Run(context.Background(), router.Transports{}, router.WithConfig(rc))
-		if err != nil {
-			t.Fatalf("solo run %d: %v", i, err)
-		}
-		s, err := f.Submit(ctx, rc)
+		spec := quickSpec(i)
+		spec.Transport = "shm"
+		want := soloRun(t, spec)
+		s, err := f.Submit(ctx, spec)
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}

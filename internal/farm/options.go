@@ -1,0 +1,41 @@
+package farm
+
+import "repro/internal/obs"
+
+// Option mutates the Config a New starts from (the zero Config, whose
+// defaults are 4 workers, a queue of twice that, a tcp loopback front
+// door, no metrics). Options are applied in order, so later options win;
+// WithConfig replaces the whole configuration and is typically first
+// when present — the same contract as router.Run's options.
+type Option func(*Config)
+
+// WithConfig replaces the entire configuration. Use it to start a farm
+// from a fully assembled Config value; construction through
+// New(WithConfig(cfg)) is equivalent to struct-literal construction.
+func WithConfig(cfg Config) Option { return func(c *Config) { *c = cfg } }
+
+// WithWorkers bounds the number of sessions running concurrently.
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithQueueDepth bounds the accepted-but-not-yet-running sessions; a
+// full queue pushes back on submitters.
+func WithQueueDepth(n int) Option { return func(c *Config) { c.QueueDepth = n } }
+
+// WithListen sets the mux front door: network is "tcp" or "unix", addr
+// the listen address (a host:port, or a socket path — "" picks a
+// loopback port for tcp and a farm-owned temp socket for unix).
+func WithListen(network, addr string) Option {
+	return func(c *Config) {
+		c.ListenNetwork = network
+		c.ListenAddr = addr
+	}
+}
+
+// WithObs publishes the farm's aggregate metrics (and each session's
+// endpoint metrics) into reg.
+func WithObs(reg *obs.Registry) Option { return func(c *Config) { c.Obs = reg } }
+
+// WithPerSessionMetrics additionally publishes one labelled gauge per
+// completed session. Metric cardinality grows with every session; leave
+// it off for long-lived farms scraped by a real Prometheus.
+func WithPerSessionMetrics() Option { return func(c *Config) { c.PerSessionMetrics = true } }

@@ -1,0 +1,77 @@
+package farm
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestOptionsEquivalentToConfig: functional-option construction is
+// field-for-field equivalent to struct-literal construction through
+// WithConfig, and later options win.
+func TestOptionsEquivalentToConfig(t *testing.T) {
+	reg := obs.NewRegistry()
+	lit := Config{
+		Workers:           3,
+		QueueDepth:        9,
+		ListenNetwork:     "tcp",
+		ListenAddr:        "127.0.0.1:0",
+		Obs:               reg,
+		PerSessionMetrics: true,
+	}
+
+	viaConfig, err := New(WithConfig(lit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer viaConfig.Close()
+	viaOptions, err := New(
+		WithWorkers(3),
+		WithQueueDepth(9),
+		WithListen("tcp", "127.0.0.1:0"),
+		WithObs(reg),
+		WithPerSessionMetrics(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer viaOptions.Close()
+
+	// Compare the resolved configurations, not the bound addresses (both
+	// asked for :0 and got distinct ports).
+	a, b := viaConfig.cfg, viaOptions.cfg
+	a.ListenAddr, b.ListenAddr = "", ""
+	if a != b {
+		t.Errorf("construction paths diverged:\nconfig  %+v\noptions %+v", a, b)
+	}
+
+	// Later options win.
+	f, err := New(WithWorkers(1), WithWorkers(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.cfg.Workers != 5 {
+		t.Errorf("later WithWorkers did not win: %d", f.cfg.Workers)
+	}
+
+	// WithConfig replaces everything applied before it.
+	g, err := New(WithWorkers(7), WithConfig(Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if g.cfg.Workers != 4 { // the zero Config's default
+		t.Errorf("WithConfig did not reset Workers: %d", g.cfg.Workers)
+	}
+
+	// Zero-argument New is the zero Config with defaults.
+	z, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer z.Close()
+	if z.cfg.Workers != 4 || z.cfg.QueueDepth != 8 || z.cfg.ListenNetwork != "tcp" {
+		t.Errorf("New() defaults wrong: %+v", z.cfg)
+	}
+}

@@ -1,0 +1,190 @@
+package farm
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/router"
+)
+
+// TestSpecLowersToDefaults: the zero spec is the default run.
+func TestSpecLowersToDefaults(t *testing.T) {
+	rc, err := SessionSpec{}.RunConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := router.DefaultRunConfig()
+	if rc.TSync != want.TSync || rc.Transport != want.Transport || rc.Mode != want.Mode ||
+		rc.TB != want.TB || rc.BoardCfg != want.BoardCfg || rc.AppCfg != want.AppCfg {
+		t.Errorf("zero spec did not lower to DefaultRunConfig:\ngot  %+v\nwant %+v", rc, want)
+	}
+}
+
+// TestSpecLowering checks every field group crosses the lowering, with
+// zero fields keeping defaults.
+func TestSpecLowering(t *testing.T) {
+	spec := SessionSpec{
+		Tenant:      "acme",
+		Transport:   "tcp",
+		TSync:       500,
+		Mode:        "pipelined",
+		Batch:       true,
+		MaxCycles:   123456,
+		LinkDelayUS: 200,
+		Chaos:       &ChaosSpec{Seed: 7, Drop: 0.01, Corrupt: 0.02, MaxDelayUS: 1500},
+		Resilience:  &ResilienceSpec{RetransmitTimeoutMS: 10, HeartbeatMiss: 5},
+		TB:          &TBSpec{PacketsPerPort: 3, Period: 700, Seed: 9, ErrRate: 0.25},
+		Board:       &BoardSpec{CyclesPerGrantTick: 50},
+		App:         &AppSpec{Timing: "annotated", MailboxCap: 8},
+	}
+	rc, err := spec.RunConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Transport != router.TransportTCP || rc.TSync != 500 || rc.Batch != true {
+		t.Errorf("headline fields lost: %+v", rc)
+	}
+	if rc.LinkDelay != 200*time.Microsecond {
+		t.Errorf("LinkDelay = %v, want 200µs", rc.LinkDelay)
+	}
+	if rc.Chaos == nil || rc.Chaos.Seed != 7 || rc.Chaos.Profile[0].Drop != 0.01 ||
+		rc.Chaos.Profile[2].Corrupt != 0.02 || rc.Chaos.Profile[1].MaxDelay != 1500*time.Microsecond {
+		t.Errorf("chaos lost: %+v", rc.Chaos)
+	}
+	if rc.Resilience == nil || rc.Resilience.RetransmitTimeout != 10*time.Millisecond ||
+		rc.Resilience.HeartbeatMiss != 5 {
+		t.Errorf("resilience lost: %+v", rc.Resilience)
+	}
+	// Zero resilience fields keep the defaults.
+	if rc.Resilience.AckEvery != 1 || rc.Resilience.MaxRedials != 8 {
+		t.Errorf("resilience defaults not kept: %+v", rc.Resilience)
+	}
+	if rc.TB.PacketsPerPort != 3 || rc.TB.Period != 700 || rc.TB.Seed != 9 || rc.TB.ErrRate != 0.25 {
+		t.Errorf("tb lost: %+v", rc.TB)
+	}
+	if rc.TB.Ports != 4 || rc.TB.FIFOCap != 4 {
+		t.Errorf("tb defaults not kept: %+v", rc.TB)
+	}
+	if rc.BoardCfg.CyclesPerGrantTick != 50 || rc.BoardCfg.MMIOReadCost != 4 {
+		t.Errorf("board knobs wrong: %+v", rc.BoardCfg)
+	}
+	if rc.AppCfg.Timing != router.TimingAnnotated || rc.AppCfg.MailboxCap != 8 || rc.AppCfg.Priority != 10 {
+		t.Errorf("app knobs wrong: %+v", rc.AppCfg)
+	}
+}
+
+// TestSpecValidation: bad enum values and incoherent combinations fail
+// at lowering with actionable errors.
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec SessionSpec
+		want string
+	}{
+		{"unknown transport", SessionSpec{Transport: "pigeon"}, "unknown transport"},
+		{"unknown mode", SessionSpec{Mode: "psychic"}, "unknown mode"},
+		{"unknown timing", SessionSpec{App: &AppSpec{Timing: "vibes"}}, "unknown app timing"},
+		{"negative delay", SessionSpec{LinkDelayUS: -1}, "negative"},
+		{"chaos without resilience", SessionSpec{Chaos: &ChaosSpec{Seed: 1, Drop: 0.1}}, "Chaos without Resilience"},
+		{"adaptive pipelined", SessionSpec{Adaptive: true, Mode: "pipelined"}, "Adaptive with SyncPipelined"},
+	}
+	for _, tc := range cases {
+		if _, err := tc.spec.RunConfig(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestSpecJSONRoundTrip: a spec survives the wire byte-exactly, and its
+// lowering on the far side matches the near side's — the property the
+// fleet control plane rests on.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec := SessionSpec{
+		Tenant:     "acme",
+		Transport:  "uds",
+		TSync:      321,
+		Adaptive:   true,
+		MaxQuantum: 4096,
+		Chaos:      &ChaosSpec{Seed: 11, Drop: 0.01},
+		Resilience: &ResilienceSpec{RetransmitTimeoutMS: 15},
+		TB:         &TBSpec{PacketsPerPort: 5, Seed: 3},
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcA, err := spec.RunConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcB, err := back.RunConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pointer fields compare by value (Resilience holds a func field, so
+	// compare its scalars).
+	if *rcA.Chaos != *rcB.Chaos {
+		t.Errorf("chaos diverged across the wire")
+	}
+	if rcA.Resilience.RetransmitTimeout != rcB.Resilience.RetransmitTimeout ||
+		rcA.Resilience.AckEvery != rcB.Resilience.AckEvery ||
+		rcA.Resilience.HeartbeatMiss != rcB.Resilience.HeartbeatMiss {
+		t.Errorf("resilience diverged across the wire")
+	}
+	rcA.Chaos, rcB.Chaos = nil, nil
+	rcA.Resilience, rcB.Resilience = nil, nil
+	if rcA != rcB {
+		t.Errorf("lowering diverged across the wire:\nnear %+v\nfar  %+v", rcA, rcB)
+	}
+}
+
+// TestParseSpecRejectsUnknownFields: a typo in a hand-written spec file
+// is a submission error, not a silent default run.
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"tysnc": 100}`)); err == nil {
+		t.Fatal("misspelled field accepted")
+	}
+}
+
+// TestSpecSubmitMatchesConfigSubmit: the same workload submitted as a
+// spec and as its lowered raw config produce identical virtual time.
+func TestSpecSubmitMatchesConfigSubmit(t *testing.T) {
+	f, err := New(WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ctx := context.Background()
+
+	spec := quickSpec(3)
+	rc, err := spec.RunConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSpec, err := f.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaConfig, err := f.SubmitConfig(ctx, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := viaSpec.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := viaConfig.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(a) != fingerprint(b) {
+		t.Errorf("spec and config submissions diverged:\nspec   %+v\nconfig %+v", fingerprint(a), fingerprint(b))
+	}
+}

@@ -1,0 +1,555 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/farm"
+	"repro/internal/obs"
+)
+
+// ErrNoHosts is returned by Submit when no enrolled host is up: the
+// session cannot be placed anywhere, now or by waiting.
+var ErrNoHosts = errors.New("fleet: no hosts available")
+
+// ErrCoordinatorClosed is returned by operations on a closed
+// Coordinator.
+var ErrCoordinatorClosed = errors.New("fleet: coordinator closed")
+
+// TenantPolicy bounds one tenant's use of the fleet. The zero value is
+// unlimited.
+type TenantPolicy struct {
+	// MaxInFlight caps the tenant's concurrently placed sessions;
+	// submissions beyond it block until a slot frees (0 = unlimited).
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+	// SessionsPerSec rate-limits the tenant's admissions with a token
+	// bucket; submissions beyond it block until a token accrues
+	// (0 = unlimited).
+	SessionsPerSec float64 `json:"sessions_per_sec,omitempty"`
+	// Burst is the token bucket's capacity (default 1 when
+	// SessionsPerSec is set).
+	Burst int `json:"burst,omitempty"`
+}
+
+// Config tunes a Coordinator. The zero value is usable: no tenant
+// limits, no heartbeat loop, 5s control dials.
+type Config struct {
+	// Tenants maps tenant names (farm.SessionSpec.Tenant) to their
+	// admission policies. Tenants not listed are unlimited.
+	Tenants map[string]TenantPolicy
+	// HeartbeatInterval, when positive, starts a background loop
+	// probing every host's OpHealth; hosts that fail the probe are
+	// marked down (skipped by placement) until a later probe succeeds.
+	HeartbeatInterval time.Duration
+	// DialTimeout bounds control-connection establishment (default 5s).
+	DialTimeout time.Duration
+	// Obs, when non-nil, receives fleet metrics (docs/OBSERVABILITY.md).
+	Obs *obs.Registry
+}
+
+// hostState is the coordinator's book on one enrolled host. inflight
+// counts sessions this coordinator currently has placed there — the
+// placement key — and is bounded by the host's reported capacity.
+type hostState struct {
+	addr     string
+	info     HostInfo
+	down     bool
+	inflight int
+}
+
+// tenantState is one tenant's admission book: the in-flight count for
+// the quota and the token bucket for the rate limit.
+type tenantState struct {
+	policy   TenantPolicy
+	inflight int
+	tokens   float64
+	last     time.Time
+
+	gInflight *obs.Gauge
+	cSessions *obs.Counter
+}
+
+// Coordinator places sessions across enrolled fleet hosts: admission
+// control per tenant, deterministic least-loaded placement, and
+// re-placement of sessions lost to a host failure. All methods are safe
+// for concurrent use.
+type Coordinator struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signalled when placement capacity may have appeared
+	hosts   []*hostState
+	tenants map[string]*tenantState
+	closed  bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mPlacements *obs.Counter
+	mRetries    *obs.Counter
+}
+
+// NewCoordinator builds a Coordinator and, when cfg.HeartbeatInterval
+// is positive, starts its health-probe loop.
+func NewCoordinator(cfg Config) *Coordinator {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		tenants: make(map[string]*tenantState),
+		stop:    make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	if reg := cfg.Obs; reg != nil {
+		c.mPlacements = reg.Counter("fleet_placements_total")
+		c.mRetries = reg.Counter("fleet_retries_total")
+		reg.GaugeFunc("fleet_hosts", func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(len(c.hosts))
+		})
+		reg.GaugeFunc("fleet_hosts_up", func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			up := 0
+			for _, h := range c.hosts {
+				if !h.down {
+					up++
+				}
+			}
+			return float64(up)
+		})
+	}
+	if cfg.HeartbeatInterval > 0 {
+		c.wg.Add(1)
+		go c.heartbeatLoop()
+	}
+	return c
+}
+
+// Enroll dials addr, performs the hello handshake, and adds the host to
+// the placement pool. Enrollment order is the deterministic tiebreak
+// for placement.
+func (c *Coordinator) Enroll(addr string) (HostInfo, error) {
+	resp, err := c.rpc(addr, Request{Op: OpHello})
+	if err != nil {
+		return HostInfo{}, fmt.Errorf("fleet: enroll %s: %w", addr, err)
+	}
+	if !resp.OK || resp.Host == nil {
+		return HostInfo{}, fmt.Errorf("fleet: enroll %s: %s", addr, resp.Error)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return HostInfo{}, ErrCoordinatorClosed
+	}
+	for _, h := range c.hosts {
+		if h.info.Name == resp.Host.Name {
+			return HostInfo{}, fmt.Errorf("fleet: enroll %s: host name %q already enrolled", addr, resp.Host.Name)
+		}
+	}
+	c.hosts = append(c.hosts, &hostState{addr: addr, info: *resp.Host})
+	c.cond.Broadcast()
+	return *resp.Host, nil
+}
+
+// HostStatus is one host's row in Status.
+type HostStatus struct {
+	Info     HostInfo      `json:"info"`
+	Addr     string        `json:"addr"`
+	Down     bool          `json:"down"`
+	InFlight int           `json:"in_flight"`
+	Health   *HealthReport `json:"health,omitempty"`
+}
+
+// Status probes every enrolled host's health and returns one row per
+// host in enrollment order. Probe failures mark the host down, exactly
+// as the heartbeat loop would.
+func (c *Coordinator) Status() []HostStatus {
+	c.mu.Lock()
+	hosts := append([]*hostState(nil), c.hosts...)
+	c.mu.Unlock()
+
+	out := make([]HostStatus, len(hosts))
+	for i, h := range hosts {
+		st := HostStatus{Addr: h.addr}
+		resp, err := c.rpc(h.addr, Request{Op: OpHealth})
+		healthy := err == nil && resp.OK && resp.Health != nil && resp.Health.Status == "ok"
+		c.setDown(h, !healthy)
+		c.mu.Lock()
+		st.Info, st.Down, st.InFlight = h.info, h.down, h.inflight
+		c.mu.Unlock()
+		if err == nil && resp.Health != nil {
+			st.Health = resp.Health
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// Submit admits the spec under its tenant's policy, places it on the
+// least-loaded up host, and runs it to completion — re-placing it on
+// another host if the chosen one dies or pushes back. Blocks while the
+// tenant is at quota, the tenant's rate bucket is empty, or every up
+// host is at capacity; fails with ErrNoHosts when no host is up.
+func (c *Coordinator) Submit(ctx context.Context, spec farm.SessionSpec) (SessionResult, error) {
+	release, err := c.admit(ctx, spec.Tenant)
+	if err != nil {
+		return SessionResult{}, err
+	}
+	defer release()
+
+	for attempt := 0; ; attempt++ {
+		h, err := c.pick(ctx)
+		if err != nil {
+			return SessionResult{}, err
+		}
+		if c.mPlacements != nil {
+			c.mPlacements.Inc()
+		}
+		res, retryable, err := c.submitTo(ctx, h, spec)
+		c.unplace(h)
+		if err == nil {
+			res.Host = h.info.Name
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return SessionResult{}, ctx.Err()
+		}
+		if !retryable {
+			return SessionResult{}, err
+		}
+		if c.mRetries != nil {
+			c.mRetries.Inc()
+		}
+		// A retryable push-back from a live host (e.g. its queue filled
+		// from outside the fleet) deserves a beat before re-placement.
+		if !c.isDown(h) {
+			select {
+			case <-time.After(10 * time.Millisecond):
+			case <-ctx.Done():
+				return SessionResult{}, ctx.Err()
+			}
+		}
+	}
+}
+
+// admit applies the tenant's quota and rate limit, blocking until both
+// pass or ctx ends. The returned release frees the quota slot.
+func (c *Coordinator) admit(ctx context.Context, tenant string) (func(), error) {
+	c.mu.Lock()
+	ts := c.tenantLocked(tenant)
+
+	// Quota: wait for an in-flight slot.
+	for ts.policy.MaxInFlight > 0 && ts.inflight >= ts.policy.MaxInFlight {
+		if err := c.waitLocked(ctx); err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+	}
+
+	// Rate: wait for a token.
+	if ts.policy.SessionsPerSec > 0 {
+		for {
+			now := time.Now()
+			if !ts.last.IsZero() {
+				ts.tokens += now.Sub(ts.last).Seconds() * ts.policy.SessionsPerSec
+			}
+			burst := float64(ts.policy.Burst)
+			if burst < 1 {
+				burst = 1
+			}
+			if ts.tokens > burst {
+				ts.tokens = burst
+			}
+			ts.last = now
+			if ts.tokens >= 1 {
+				ts.tokens--
+				break
+			}
+			wait := time.Duration((1 - ts.tokens) / ts.policy.SessionsPerSec * float64(time.Second))
+			c.mu.Unlock()
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-c.stop:
+				return nil, ErrCoordinatorClosed
+			}
+			c.mu.Lock()
+		}
+	}
+
+	ts.inflight++
+	if ts.gInflight != nil {
+		ts.gInflight.Set(float64(ts.inflight))
+	}
+	if ts.cSessions != nil {
+		ts.cSessions.Inc()
+	}
+	c.mu.Unlock()
+	return func() {
+		c.mu.Lock()
+		ts.inflight--
+		if ts.gInflight != nil {
+			ts.gInflight.Set(float64(ts.inflight))
+		}
+		c.mu.Unlock()
+		c.cond.Broadcast()
+	}, nil
+}
+
+// tenantLocked returns (creating on first use) the tenant's admission
+// state and its cached metric handles. Caller holds c.mu.
+func (c *Coordinator) tenantLocked(tenant string) *tenantState {
+	ts, ok := c.tenants[tenant]
+	if !ok {
+		ts = &tenantState{policy: c.cfg.Tenants[tenant]}
+		if ts.policy.SessionsPerSec > 0 {
+			// The bucket starts full so a fresh tenant's first burst is
+			// admitted immediately.
+			ts.tokens = float64(ts.policy.Burst)
+			if ts.tokens < 1 {
+				ts.tokens = 1
+			}
+		}
+		if reg := c.cfg.Obs; reg != nil {
+			label := tenant
+			if label == "" {
+				label = "default"
+			}
+			ts.gInflight = reg.Gauge(obs.Name("fleet_tenant_inflight", "tenant", label))
+			ts.cSessions = reg.Counter(obs.Name("fleet_tenant_sessions_total", "tenant", label))
+		}
+		c.tenants[tenant] = ts
+	}
+	return ts
+}
+
+// pick chooses the placement host deterministically: the up host with
+// the fewest in-flight sessions, ties broken by enrollment order. It
+// blocks while every up host is at its reported capacity, and fails
+// with ErrNoHosts when no host is up at all.
+func (c *Coordinator) pick(ctx context.Context) (*hostState, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.closed {
+			return nil, ErrCoordinatorClosed
+		}
+		var best *hostState
+		anyUp := false
+		for _, h := range c.hosts {
+			if h.down {
+				continue
+			}
+			anyUp = true
+			if h.inflight >= h.info.Workers+h.info.Queue {
+				continue
+			}
+			if best == nil || h.inflight < best.inflight {
+				best = h
+			}
+		}
+		if best != nil {
+			best.inflight++
+			return best, nil
+		}
+		if !anyUp {
+			return nil, ErrNoHosts
+		}
+		if err := c.waitLocked(ctx); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// waitLocked waits on the capacity condition with ctx support. Caller
+// holds c.mu; the lock is held again on return.
+func (c *Coordinator) waitLocked(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			// Taking the lock orders this broadcast after cond.Wait has
+			// released it — a bare Broadcast could land in the window
+			// before Wait starts and be lost.
+			c.mu.Lock()
+			c.mu.Unlock() //nolint:staticcheck // empty critical section is the ordering fence
+			c.cond.Broadcast()
+		case <-done:
+		}
+	}()
+	c.cond.Wait()
+	close(done)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if c.closed {
+		return ErrCoordinatorClosed
+	}
+	return nil
+}
+
+func (c *Coordinator) unplace(h *hostState) {
+	c.mu.Lock()
+	h.inflight--
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+func (c *Coordinator) isDown(h *hostState) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return h.down
+}
+
+func (c *Coordinator) setDown(h *hostState, down bool) {
+	c.mu.Lock()
+	changed := h.down != down
+	h.down = down
+	c.mu.Unlock()
+	if changed && !down {
+		c.cond.Broadcast() // capacity reappeared
+	}
+}
+
+// submitTo runs one submit RPC against h, holding the connection open
+// until the session completes. Any transport failure marks the host
+// down and is retryable: the session is deterministic, so re-running
+// the spec elsewhere yields a bit-identical result (at worst the dying
+// host also finished it — wasted cycles, never divergent results).
+func (c *Coordinator) submitTo(ctx context.Context, h *hostState, spec farm.SessionSpec) (SessionResult, bool, error) {
+	conn, err := net.DialTimeout("tcp", h.addr, c.cfg.DialTimeout)
+	if err != nil {
+		c.setDown(h, true)
+		return SessionResult{}, true, fmt.Errorf("fleet: host %s: %w", h.info.Name, err)
+	}
+	defer conn.Close()
+	// ctx cancellation (and coordinator close) surface as a conn error.
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-c.stop:
+			conn.Close()
+		case <-done:
+		}
+	}()
+	defer close(done)
+
+	if err := json.NewEncoder(conn).Encode(Request{Op: OpSubmit, Spec: &spec}); err != nil {
+		c.setDown(h, true)
+		return SessionResult{}, true, fmt.Errorf("fleet: host %s: %w", h.info.Name, err)
+	}
+	var resp Response
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		c.setDown(h, true)
+		return SessionResult{}, true, fmt.Errorf("fleet: host %s: %w", h.info.Name, err)
+	}
+	if !resp.OK {
+		if resp.Unavailable {
+			c.setDown(h, true)
+		}
+		return SessionResult{}, resp.Retryable, fmt.Errorf("fleet: host %s: %s", h.info.Name, resp.Error)
+	}
+	if resp.Result == nil {
+		return SessionResult{}, false, fmt.Errorf("fleet: host %s: ok submit response without a result", h.info.Name)
+	}
+	return *resp.Result, false, nil
+}
+
+// DrainAll asks every up host's farm to drain, in enrollment order, and
+// joins the failures.
+func (c *Coordinator) DrainAll() error {
+	c.mu.Lock()
+	hosts := append([]*hostState(nil), c.hosts...)
+	c.mu.Unlock()
+	var errs []error
+	for _, h := range hosts {
+		if c.isDown(h) {
+			continue
+		}
+		resp, err := c.rpc(h.addr, Request{Op: OpDrain})
+		if err == nil && !resp.OK {
+			err = errors.New(resp.Error)
+		}
+		if err != nil {
+			errs = append(errs, fmt.Errorf("fleet: drain %s: %w", h.info.Name, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Close stops the heartbeat loop and fails blocked submissions with
+// ErrCoordinatorClosed. Hosts are not contacted — their farms keep
+// running.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.stop)
+	c.cond.Broadcast()
+	c.wg.Wait()
+	return nil
+}
+
+// heartbeatLoop probes every host each interval, flipping down/up as
+// probes fail and recover.
+func (c *Coordinator) heartbeatLoop() {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+		}
+		c.mu.Lock()
+		hosts := append([]*hostState(nil), c.hosts...)
+		c.mu.Unlock()
+		for _, h := range hosts {
+			resp, err := c.rpc(h.addr, Request{Op: OpHealth})
+			healthy := err == nil && resp.OK && resp.Health != nil && resp.Health.Status == "ok"
+			c.setDown(h, !healthy)
+		}
+	}
+}
+
+// rpc performs one short request/response round trip on a fresh
+// connection, bounded end to end by DialTimeout.
+func (c *Coordinator) rpc(addr string, req Request) (Response, error) {
+	conn, err := net.DialTimeout("tcp", addr, c.cfg.DialTimeout)
+	if err != nil {
+		return Response{}, err
+	}
+	defer conn.Close()
+	if req.Op != OpDrain {
+		// Drain legitimately takes as long as the sessions it waits on;
+		// everything else must answer within the dial budget.
+		conn.SetDeadline(time.Now().Add(c.cfg.DialTimeout))
+	}
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		return Response{}, err
+	}
+	var resp Response
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}

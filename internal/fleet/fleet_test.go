@@ -1,0 +1,488 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cosim"
+	"repro/internal/farm"
+	"repro/internal/obs"
+	"repro/internal/router"
+)
+
+// testHost is one in-process fleet host: a real farm behind a real
+// control listener, talked to over real TCP.
+type testHost struct {
+	farm *farm.Farm
+	host *Host
+}
+
+func startHost(t *testing.T, name string, workers, queue int) *testHost {
+	t.Helper()
+	f, err := farm.New(farm.WithWorkers(workers), farm.WithQueueDepth(queue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ListenHost(f, HostOptions{Name: name})
+	if err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	th := &testHost{farm: f, host: h}
+	t.Cleanup(th.kill)
+	return th
+}
+
+// kill takes the host out hard: farm first (in-flight submits answer
+// unavailable), then the control listener.
+func (th *testHost) kill() {
+	th.farm.Close()
+	th.host.Close()
+}
+
+// testSpec is the idx'th session of the fleet workload: transports
+// cycled so the same fleet carries inproc, tcp, and uds sessions at
+// once, chaos+resilience on every second session.
+func testSpec(idx int) farm.SessionSpec {
+	spec := farm.SessionSpec{
+		TSync: uint64(200 + 150*(idx%3)),
+		TB: &farm.TBSpec{
+			PacketsPerPort: 2 + idx%3,
+			Period:         uint64(400 + 100*(idx%4)),
+			Seed:           int64(idx + 1),
+		},
+	}
+	switch idx % 3 {
+	case 1:
+		spec.Transport = "tcp"
+	case 2:
+		spec.Transport = "uds"
+	}
+	if idx%2 == 1 {
+		spec.Chaos = &farm.ChaosSpec{Seed: int64(3000 + idx), Drop: 0.01, Duplicate: 0.01, Corrupt: 0.01}
+		spec.Resilience = &farm.ResilienceSpec{RetransmitTimeoutMS: 10}
+	}
+	return spec
+}
+
+// soloFingerprint runs the spec through the plain single-session entry
+// point — the baseline every fleet placement must match bit for bit.
+func soloFingerprint(t *testing.T, spec farm.SessionSpec) Fingerprint {
+	t.Helper()
+	rc, err := spec.RunConfig()
+	if err != nil {
+		t.Fatalf("lowering spec: %v", err)
+	}
+	res, err := router.Run(context.Background(), router.Transports{}, router.WithConfig(rc))
+	if err != nil {
+		t.Fatalf("solo run: %v", err)
+	}
+	if res.Conservation != nil {
+		t.Fatalf("solo run: %v", res.Conservation)
+	}
+	return ResultOf(res).Fingerprint
+}
+
+// rpc sends one raw control frame, for protocol-level assertions.
+func rpc(t *testing.T, addr string, req Request) Response {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestHostControlProtocol exercises each control op over a raw
+// connection — the wire contract cosim-farmctl and the coordinator
+// both build on.
+func TestHostControlProtocol(t *testing.T) {
+	th := startHost(t, "proto-host", 2, 4)
+	addr := th.host.Addr()
+
+	hello := rpc(t, addr, Request{Op: OpHello})
+	if !hello.OK || hello.Host == nil {
+		t.Fatalf("hello: %+v", hello)
+	}
+	if hello.Host.Name != "proto-host" || hello.Host.Workers != 2 || hello.Host.Queue != 4 {
+		t.Errorf("hello host info: %+v", hello.Host)
+	}
+	if hello.Host.FarmAddr != th.farm.Addr() || hello.Host.FarmNetwork != th.farm.Network() {
+		t.Errorf("hello farm endpoint: %+v", hello.Host)
+	}
+
+	health := rpc(t, addr, Request{Op: OpHealth})
+	if !health.OK || health.Health == nil || health.Health.Status != "ok" {
+		t.Fatalf("health: %+v", health)
+	}
+	if health.Health.Farm.Workers != 2 {
+		t.Errorf("health snapshot: %+v", health.Health.Farm)
+	}
+
+	spec := testSpec(0)
+	want := soloFingerprint(t, spec)
+	sub := rpc(t, addr, Request{Op: OpSubmit, Spec: &spec})
+	if !sub.OK || sub.Result == nil {
+		t.Fatalf("submit: %+v", sub)
+	}
+	if sub.Result.Fingerprint != want {
+		t.Errorf("submit fingerprint diverged:\nhost %+v\nsolo %+v", sub.Result.Fingerprint, want)
+	}
+
+	bad := testSpec(0)
+	bad.Transport = "carrier-pigeon"
+	resp := rpc(t, addr, Request{Op: OpSubmit, Spec: &bad})
+	if resp.OK || resp.Retryable {
+		t.Errorf("invalid spec must fail non-retryably: %+v", resp)
+	}
+	if resp := rpc(t, addr, Request{Op: OpSubmit}); resp.OK {
+		t.Error("submit without a spec accepted")
+	}
+	if resp := rpc(t, addr, Request{Op: "teleport"}); resp.OK {
+		t.Error("unknown op accepted")
+	}
+
+	// A closed farm behind a live agent reports unhealthy and pushes
+	// submits back as unavailable — the routing-around signal.
+	th.farm.Close()
+	if resp := rpc(t, addr, Request{Op: OpHealth}); resp.Health == nil || resp.Health.Status == "ok" {
+		t.Errorf("health after farm close: %+v", resp.Health)
+	}
+	spec = testSpec(1)
+	if resp := rpc(t, addr, Request{Op: OpSubmit, Spec: &spec}); resp.OK || !resp.Retryable || !resp.Unavailable {
+		t.Errorf("submit to closed farm: %+v", resp)
+	}
+}
+
+// TestFleetMatchesSingleFarm is satellite determinism: M sessions
+// placed across K hosts produce exactly the fingerprints the same
+// specs produce on a single machine.
+func TestFleetMatchesSingleFarm(t *testing.T) {
+	const hosts, sessions = 3, 12
+	reg := obs.NewRegistry()
+	c := NewCoordinator(Config{Obs: reg})
+	defer c.Close()
+	names := map[string]bool{}
+	for i := 0; i < hosts; i++ {
+		th := startHost(t, string(rune('a'+i))+"-host", 2, 4)
+		info, err := c.Enroll(th.host.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		names[info.Name] = true
+	}
+
+	want := make([]Fingerprint, sessions)
+	for i := range want {
+		want[i] = soloFingerprint(t, testSpec(i))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	got := make([]SessionResult, sessions)
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = c.Submit(ctx, testSpec(i))
+		}(i)
+	}
+	wg.Wait()
+
+	used := map[string]bool{}
+	for i := range got {
+		if errs[i] != nil {
+			t.Fatalf("session %d: %v", i, errs[i])
+		}
+		if got[i].Fingerprint != want[i] {
+			t.Errorf("session %d diverged from single-farm baseline:\nfleet %+v\nsolo  %+v", i, got[i].Fingerprint, want[i])
+		}
+		if !names[got[i].Host] {
+			t.Errorf("session %d ran on unenrolled host %q", i, got[i].Host)
+		}
+		used[got[i].Host] = true
+	}
+	if len(used) < 2 {
+		t.Errorf("least-loaded placement used %d host(s) for %d concurrent sessions", len(used), sessions)
+	}
+
+	placements := reg.Counter("fleet_placements_total").Value()
+	if placements < sessions {
+		t.Errorf("fleet_placements_total = %d, want >= %d", placements, sessions)
+	}
+	if up := reg.Counter("fleet_retries_total").Value(); up != placements-sessions {
+		t.Errorf("fleet_retries_total = %d with %d placements for %d sessions", up, placements, sessions)
+	}
+}
+
+// TestFleetSurvivesHostKill is the failure-handling acceptance: a
+// 3-host fleet carrying 24 mixed-transport sessions loses one host
+// mid-run; every session still completes, the re-placed ones
+// bit-identical to the single-farm baseline.
+func TestFleetSurvivesHostKill(t *testing.T) {
+	const hosts, sessions = 3, 24
+	reg := obs.NewRegistry()
+	c := NewCoordinator(Config{Obs: reg})
+	defer c.Close()
+	ths := make([]*testHost, hosts)
+	for i := 0; i < hosts; i++ {
+		ths[i] = startHost(t, string(rune('a'+i))+"-host", 2, 8)
+		if _, err := c.Enroll(ths[i].host.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Stretch the sessions so the kill lands mid-run.
+	spec := func(i int) farm.SessionSpec {
+		s := testSpec(i)
+		s.LinkDelayUS = 200
+		return s
+	}
+	want := make([]Fingerprint, sessions)
+	for i := range want {
+		want[i] = soloFingerprint(t, spec(i))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	got := make([]SessionResult, sessions)
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = c.Submit(ctx, spec(i))
+		}(i)
+	}
+
+	// Kill the first host once it is demonstrably carrying sessions.
+	victim := ths[0]
+	deadline := time.Now().Add(time.Minute)
+	for victim.farm.Snapshot().Active == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("victim host never received a session")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	victim.kill()
+	wg.Wait()
+
+	for i := range got {
+		if errs[i] != nil {
+			t.Fatalf("session %d did not survive the host kill: %v", i, errs[i])
+		}
+		if got[i].Fingerprint != want[i] {
+			t.Errorf("session %d diverged after re-placement:\nfleet %+v\nsolo  %+v", i, got[i].Fingerprint, want[i])
+		}
+	}
+	snap := reg.Snapshot()
+	if retries := snap.Counters["fleet_retries_total"]; retries == 0 {
+		t.Error("fleet_retries_total = 0 after killing a host with active sessions")
+	}
+	if up := snap.Gauges["fleet_hosts_up"]; up != hosts-1 {
+		t.Errorf("fleet_hosts_up = %v after the kill, want %d", up, hosts-1)
+	}
+}
+
+// TestFleetShmSessions routes shared-memory specs through the control
+// plane where the platform supports them.
+func TestFleetShmSessions(t *testing.T) {
+	if !cosim.ShmSupported() {
+		t.Skip("shm transport unsupported on this platform")
+	}
+	th := startHost(t, "shm-host", 2, 4)
+	c := NewCoordinator(Config{})
+	defer c.Close()
+	if _, err := c.Enroll(th.host.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(0)
+	spec.Transport = "shm"
+	want := soloFingerprint(t, spec)
+	res, err := c.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fingerprint != want {
+		t.Errorf("shm session diverged:\nfleet %+v\nsolo  %+v", res.Fingerprint, want)
+	}
+	if res.Transport != "shm" {
+		t.Errorf("transport = %q, want shm", res.Transport)
+	}
+}
+
+// TestTenantQuota: MaxInFlight holds a tenant's second session back
+// until the first finishes, without limiting other tenants.
+func TestTenantQuota(t *testing.T) {
+	th := startHost(t, "quota-host", 2, 4)
+	c := NewCoordinator(Config{
+		Tenants: map[string]TenantPolicy{"capped": {MaxInFlight: 1}},
+	})
+	defer c.Close()
+	if _, err := c.Enroll(th.host.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	slow := farm.SessionSpec{
+		Tenant:      "capped",
+		TSync:       200,
+		LinkDelayUS: 500,
+		TB:          &farm.TBSpec{PacketsPerPort: 4, Period: 500},
+	}
+	first := make(chan error, 1)
+	go func() {
+		_, err := c.Submit(context.Background(), slow)
+		first <- err
+	}()
+	// Give the first submission time to take the quota slot, then prove
+	// the second blocks until its context expires.
+	time.Sleep(20 * time.Millisecond)
+	shortCtx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := c.Submit(shortCtx, slow); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("second capped submission: got %v, want DeadlineExceeded", err)
+	}
+	// An uncapped tenant is not held back by the capped tenant's quota.
+	free := testSpec(0)
+	free.Tenant = "free"
+	if _, err := c.Submit(context.Background(), free); err != nil {
+		t.Fatalf("uncapped tenant blocked: %v", err)
+	}
+	if err := <-first; err != nil {
+		t.Fatalf("first capped submission: %v", err)
+	}
+	// With the slot free the capped tenant proceeds immediately.
+	if _, err := c.Submit(context.Background(), slow); err != nil {
+		t.Fatalf("capped tenant after slot freed: %v", err)
+	}
+}
+
+// TestTenantRateLimit: the token bucket spaces a tenant's admissions.
+func TestTenantRateLimit(t *testing.T) {
+	th := startHost(t, "rate-host", 4, 8)
+	c := NewCoordinator(Config{
+		Tenants: map[string]TenantPolicy{"slow": {SessionsPerSec: 5}},
+	})
+	defer c.Close()
+	if _, err := c.Enroll(th.host.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(0)
+	spec.Tenant = "slow"
+	// First admission spends the bucket's single token; the second must
+	// wait ~1/5s for the next. A context far shorter than that expires.
+	if _, err := c.Submit(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	shortCtx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := c.Submit(shortCtx, spec); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("rate-limited submission: got %v, want DeadlineExceeded", err)
+	}
+	// Waiting long enough, the token accrues and the submission runs.
+	longCtx, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	if _, err := c.Submit(longCtx, spec); err != nil {
+		t.Fatalf("rate-limited submission after waiting: %v", err)
+	}
+}
+
+// TestCoordinatorEdges: no hosts, bad enrollment, duplicate names,
+// closed coordinator.
+func TestCoordinatorEdges(t *testing.T) {
+	c := NewCoordinator(Config{DialTimeout: 200 * time.Millisecond})
+	if _, err := c.Submit(context.Background(), testSpec(0)); !errors.Is(err, ErrNoHosts) {
+		t.Fatalf("submit with no hosts: got %v, want ErrNoHosts", err)
+	}
+	if _, err := c.Enroll("127.0.0.1:1"); err == nil {
+		t.Fatal("enrolling a dead address succeeded")
+	}
+
+	th := startHost(t, "edge-host", 1, 2)
+	if _, err := c.Enroll(th.host.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Enroll(th.host.Addr()); err == nil {
+		t.Fatal("duplicate enrollment accepted")
+	}
+
+	sts := c.Status()
+	if len(sts) != 1 || sts[0].Down || sts[0].Health == nil {
+		t.Fatalf("status: %+v", sts)
+	}
+
+	c.Close()
+	if _, err := c.Submit(context.Background(), testSpec(0)); !errors.Is(err, ErrCoordinatorClosed) {
+		t.Fatalf("submit after close: got %v, want ErrCoordinatorClosed", err)
+	}
+	if _, err := c.Enroll(th.host.Addr()); !errors.Is(err, ErrCoordinatorClosed) {
+		t.Fatalf("enroll after close: got %v, want ErrCoordinatorClosed", err)
+	}
+}
+
+// TestHeartbeatMarksDownAndUp: the probe loop flips a host down when
+// its agent dies and (for a surviving farm behind a new agent at the
+// same address) back up when it answers again.
+func TestHeartbeatMarksDownAndUp(t *testing.T) {
+	f, err := farm.New(farm.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	h, err := ListenHost(f, HostOptions{Name: "hb-host"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	c := NewCoordinator(Config{HeartbeatInterval: 10 * time.Millisecond, DialTimeout: 200 * time.Millisecond, Obs: reg})
+	defer c.Close()
+	if _, err := c.Enroll(h.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	addr := h.Addr()
+	hostsUp := func() float64 { return reg.Snapshot().Gauges["fleet_hosts_up"] }
+
+	waitFor := func(want float64, what string) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for hostsUp() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("heartbeat never saw %s (fleet_hosts_up=%v)", what, hostsUp())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor(1, "the host up")
+
+	h.Close()
+	waitFor(0, "the dead agent down")
+
+	// Same farm, new agent on the same control address.
+	h2, err := ListenHost(f, HostOptions{Name: "hb-host", Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	waitFor(1, "the revived agent up")
+
+	if _, err := c.Submit(context.Background(), testSpec(0)); err != nil {
+		t.Fatalf("submit after revival: %v", err)
+	}
+}

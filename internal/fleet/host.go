@@ -1,0 +1,232 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/farm"
+	"repro/internal/obs"
+)
+
+// HostOptions tunes a fleet host agent. The zero value is usable: an
+// ephemeral loopback control port, named after itself, no self-probe.
+type HostOptions struct {
+	// Addr is the control listener's TCP address (default
+	// "127.0.0.1:0").
+	Addr string
+	// Name is the host's fleet identity (default: the bound control
+	// address).
+	Name string
+	// HealthzURL, when non-empty, is probed on every OpHealth — wire it
+	// to the host's own obs debug server (http://addr/healthz) so fleet
+	// health reflects the same signal operators scrape.
+	HealthzURL string
+	// Obs, when non-nil, receives the host agent's control-plane
+	// counters.
+	Obs *obs.Registry
+}
+
+// Host serves the fleet control protocol in front of one farm.Farm.
+// One goroutine per connection; operations on a connection are
+// sequential request/response pairs, so a coordinator that wants
+// concurrent submits opens concurrent connections.
+type Host struct {
+	farm *farm.Farm
+	ln   net.Listener
+	name string
+	opt  HostOptions
+
+	mSubmits *obs.Counter
+	mErrors  *obs.Counter
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ListenHost starts serving the control protocol for f on
+// opt.Addr. The caller owns f: closing the host does not close the
+// farm.
+func ListenHost(f *farm.Farm, opt HostOptions) (*Host, error) {
+	if opt.Addr == "" {
+		opt.Addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", opt.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: host listen: %w", err)
+	}
+	h := &Host{farm: f, ln: ln, name: opt.Name, opt: opt}
+	if h.name == "" {
+		h.name = ln.Addr().String()
+	}
+	if reg := opt.Obs; reg != nil {
+		h.mSubmits = reg.Counter("fleet_host_submits_total")
+		h.mErrors = reg.Counter("fleet_host_errors_total")
+	}
+	h.wg.Add(1)
+	go h.serve()
+	return h, nil
+}
+
+// Addr is the bound control address.
+func (h *Host) Addr() string { return h.ln.Addr().String() }
+
+// Name is the host's fleet identity.
+func (h *Host) Name() string { return h.name }
+
+// Close stops the control listener and waits for in-flight control
+// connections to finish. The farm is left running.
+func (h *Host) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	h.mu.Unlock()
+	err := h.ln.Close()
+	h.wg.Wait()
+	return err
+}
+
+func (h *Host) serve() {
+	defer h.wg.Done()
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			defer conn.Close()
+			h.handle(conn)
+		}()
+	}
+}
+
+// handle runs one connection's request/response loop until the peer
+// hangs up.
+func (h *Host) handle(conn net.Conn) {
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) {
+				h.countError()
+			}
+			return
+		}
+		resp := h.dispatch(req)
+		if !resp.OK {
+			h.countError()
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (h *Host) dispatch(req Request) Response {
+	switch req.Op {
+	case OpHello:
+		snap := h.farm.Snapshot()
+		return Response{OK: true, Host: &HostInfo{
+			Name:        h.name,
+			FarmNetwork: h.farm.Network(),
+			FarmAddr:    h.farm.Addr(),
+			Workers:     snap.Workers,
+			Queue:       snap.QueueCapacity,
+		}}
+	case OpHealth:
+		return Response{OK: true, Health: h.health()}
+	case OpSubmit:
+		return h.submit(req.Spec)
+	case OpDrain:
+		if err := h.farm.Drain(context.Background()); err != nil {
+			return Response{OK: false, Error: fmt.Sprintf("drain: %v", err)}
+		}
+		return Response{OK: true}
+	default:
+		return Response{OK: false, Error: fmt.Sprintf("fleet: unknown op %q", req.Op)}
+	}
+}
+
+// health reports liveness: the farm's counter snapshot always, plus the
+// host's own /healthz probe when one is configured — so fleet health
+// and operator dashboards agree on what "up" means. A farm that can no
+// longer accept sessions (closed or draining) reports unhealthy even
+// though the agent still answers: placement must route around it.
+func (h *Host) health() *HealthReport {
+	rep := &HealthReport{Status: "ok", Farm: h.farm.Snapshot()}
+	if rep.Farm.Closed {
+		rep.Status = "farm closed"
+		return rep
+	}
+	if rep.Farm.Draining {
+		rep.Status = "farm draining"
+		return rep
+	}
+	if h.opt.HealthzURL != "" {
+		client := http.Client{Timeout: 2 * time.Second}
+		resp, err := client.Get(h.opt.HealthzURL)
+		if err != nil {
+			rep.Status = fmt.Sprintf("healthz probe: %v", err)
+			return rep
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			rep.Status = fmt.Sprintf("healthz probe: HTTP %d", resp.StatusCode)
+		}
+	}
+	return rep
+}
+
+// submit runs one session to completion and reports its result on the
+// same connection — the coordinator's conn is the session's lease, and
+// a broken conn (either side) is the re-placement signal.
+func (h *Host) submit(spec *farm.SessionSpec) Response {
+	if spec == nil {
+		return Response{OK: false, Error: "fleet: submit without a spec"}
+	}
+	if h.mSubmits != nil {
+		h.mSubmits.Inc()
+	}
+	s, err := h.farm.Submit(context.Background(), *spec)
+	if err != nil {
+		gone := errors.Is(err, farm.ErrDraining) || errors.Is(err, farm.ErrClosed)
+		return Response{
+			OK:          false,
+			Error:       err.Error(),
+			Retryable:   gone || errors.Is(err, farm.ErrQueueFull),
+			Unavailable: gone,
+		}
+	}
+	res, err := s.Result()
+	if err == nil && res.Conservation != nil {
+		err = res.Conservation
+	}
+	if err != nil {
+		// The run itself failed. Deterministic failures are not
+		// retryable — the same spec fails the same way anywhere — but a
+		// farm teardown racing the session is.
+		gone := errors.Is(err, farm.ErrClosed)
+		return Response{OK: false, Error: err.Error(), Retryable: gone, Unavailable: gone}
+	}
+	out := ResultOf(res)
+	return Response{OK: true, Result: &out}
+}
+
+func (h *Host) countError() {
+	if h.mErrors != nil {
+		h.mErrors.Inc()
+	}
+}

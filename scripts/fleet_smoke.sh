@@ -1,0 +1,98 @@
+#!/bin/sh
+# Multi-process fleet smoke test: three cosim-farm processes in -farmd
+# mode serve the fleet control protocol, cosim-farmctl enrolls them and
+# drives 24 mixed sessions through the coordinator, and one host is
+# kill -9'd mid-run — every session must still complete via
+# re-placement on the survivors. The in-repo tests cover the same logic
+# with in-process hosts; this script is where the control plane runs
+# across real process boundaries, exactly as an operator would launch
+# it (see docs/FLEET.md).
+#
+# Usage: scripts/fleet_smoke.sh   (from the repository root)
+set -eu
+
+dir=$(mktemp -d)
+pids=""
+cleanup() {
+    for p in $pids; do kill -9 "$p" 2>/dev/null || true; done
+    rm -rf "$dir"
+}
+trap cleanup EXIT
+
+go build -o "$dir/cosim-farm" ./cmd/cosim-farm
+go build -o "$dir/cosim-farmctl" ./cmd/cosim-farmctl
+
+# Start three host agents on ephemeral control ports and harvest the
+# bound addresses from their logs.
+addrs=""
+for i in 1 2 3; do
+    "$dir/cosim-farm" -farmd 127.0.0.1:0 -name "host-$i" -workers 2 -queue 8 \
+        >"$dir/host$i.log" 2>&1 &
+    pid=$!
+    pids="$pids $pid"
+    eval "host${i}_pid=$pid"
+done
+for i in 1 2 3; do
+    j=0
+    while ! grep -q 'serving fleet control on' "$dir/host$i.log"; do
+        j=$((j + 1))
+        if [ "$j" -gt 100 ]; then
+            echo "fleet smoke: host $i never announced its control address" >&2
+            cat "$dir/host$i.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    addr=$(sed -n 's/.*serving fleet control on \(.*\)$/\1/p' "$dir/host$i.log" | head -1)
+    addrs="$addrs $addr"
+done
+
+fleet="$dir/fleet.json"
+# shellcheck disable=SC2086
+"$dir/cosim-farmctl" -fleet "$fleet" enroll $addrs
+"$dir/cosim-farmctl" -fleet "$fleet" status
+
+# Drive 24 sessions through the fleet in the background, then take out
+# host 1 once at least 4 sessions have completed — mid-run, with work
+# in flight everywhere.
+"$dir/cosim-farmctl" -fleet "$fleet" -sessions 24 -concurrency 6 -n 24 -tsync 500 -v submit \
+    >"$dir/submit.log" 2>&1 &
+submit=$!
+pids="$pids $submit"
+
+j=0
+while [ "$(grep -c '^session ' "$dir/submit.log" || true)" -lt 4 ]; do
+    j=$((j + 1))
+    if [ "$j" -gt 600 ]; then
+        echo "fleet smoke: submissions never started completing" >&2
+        cat "$dir/submit.log" >&2
+        exit 1
+    fi
+    if ! kill -0 "$submit" 2>/dev/null; then
+        echo "fleet smoke: submit exited before the kill" >&2
+        cat "$dir/submit.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+kill -9 "$host1_pid"
+echo "fleet smoke: killed host-1 (pid $host1_pid) mid-run"
+
+if ! wait "$submit"; then
+    echo "fleet smoke: submit failed after the host kill" >&2
+    cat "$dir/submit.log" >&2
+    exit 1
+fi
+if ! grep -q '24/24 sessions completed' "$dir/submit.log"; then
+    echo "fleet smoke: not all sessions completed" >&2
+    cat "$dir/submit.log" >&2
+    exit 1
+fi
+if ! grep -q 'failed:.*host-1' "$dir/submit.log" && ! grep -q 'host-1' "$dir/submit.log"; then
+    echo "fleet smoke: host-1 never appeared in the run (kill landed too late to matter)" >&2
+fi
+
+# The survivors drain cleanly; the dead host is reported, not fatal.
+"$dir/cosim-farmctl" -fleet "$fleet" drain || true
+echo "fleet smoke: OK (24/24 sessions survived a kill -9 of one of three hosts)"
